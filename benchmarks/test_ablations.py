@@ -1,0 +1,207 @@
+"""Ablations of the SPIN design choices called out in DESIGN.md §6.
+
+* tDD sensitivity — detection threshold vs recovery latency and false
+  recovery work (the paper fixes tDD = 128; we show the tradeoff).
+* probe_move on/off — the Sec. IV-B4 multi-spin optimization.
+* strict vs contention-only probe dropping — the two readings of the
+  Sec. IV-C1 priority rule (DESIGN.md substitution note 5).
+* FAvORS output selection — least-active-VC wait choice vs naive fixed
+  choice, isolating the value of the credit-based congestion proxy.
+"""
+
+from repro.config import NetworkConfig, SpinParams
+from repro.harness.tables import format_table
+from repro.network.network import Network
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.ring import RingTopology
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import craft_ring_deadlock
+
+from benchmarks._common import run_once, scale, write_result
+
+RING = 10
+DST_AHEAD = 4
+
+
+def ring_recovery_cycles(spin_params):
+    """Cycles to fully drain a crafted multi-spin ring deadlock."""
+    network = Network(RingTopology(RING), NetworkConfig(vcs_per_vnet=1),
+                      MinimalAdaptiveRouting(1), spin=spin_params, seed=1)
+    packets = craft_ring_deadlock(network, dst_ahead=DST_AHEAD)
+    simulator = Simulator()
+    simulator.register(network)
+    done = simulator.run_until(
+        lambda: network.stats.packets_delivered == len(packets),
+        max_cycles=20_000)
+    return simulator.cycle if done else None, dict(network.stats.events)
+
+
+def saturated_mesh_run(spin_params, rate=0.3, seed=3):
+    """Delivered packets under sustained overload on a 1-VC mesh."""
+    cycles = scale(3000, 6000, 20000)
+    network = Network(MeshTopology(4, 4), NetworkConfig(vcs_per_vnet=1),
+                      MinimalAdaptiveRouting(seed), spin=spin_params,
+                      seed=seed)
+    network.stats.open_window(0, cycles)
+    traffic = SyntheticTraffic(network, make_pattern("uniform", 16), rate,
+                               seed=seed, stop_at=cycles // 2,
+                               mix=PacketMix.single(1))
+    simulator = Simulator()
+    simulator.register(traffic)
+    simulator.register(network)
+    simulator.run(cycles)
+    return network.stats.packets_delivered, dict(network.stats.events)
+
+
+def run_tdd_ablation():
+    rows = []
+    for tdd in (8, 32, 128):
+        cycles, events = ring_recovery_cycles(SpinParams(tdd=tdd))
+        rows.append([tdd, cycles, events.get("spins", 0),
+                     events.get("probes_sent", 0)])
+    return format_table(
+        ["tDD", "Recovery cycles", "Spins", "Probes sent"],
+        rows,
+        title=f"Ablation: tDD sensitivity ({RING}-ring, {DST_AHEAD} spins "
+              "needed)"), rows
+
+
+def run_probe_move_ablation():
+    rows = []
+    results = {}
+    for enabled in (True, False):
+        cycles, events = ring_recovery_cycles(
+            SpinParams(tdd=16, probe_move_enabled=enabled))
+        results[enabled] = cycles
+        rows.append(["on" if enabled else "off", cycles,
+                     events.get("spins", 0),
+                     events.get("probe_moves_sent", 0)])
+    return format_table(
+        ["probe_move", "Recovery cycles", "Spins", "probe_moves"],
+        rows,
+        title="Ablation: the probe_move multi-spin optimization "
+              "(Sec. IV-B4)"), results
+
+
+def run_strict_priority_ablation():
+    rows = []
+    results = {}
+    for strict in (False, True):
+        delivered, events = saturated_mesh_run(
+            SpinParams(tdd=16, strict_priority_drop=strict))
+        results[strict] = delivered
+        rows.append(["strict" if strict else "contention-only", delivered,
+                     events.get("spins", 0),
+                     events.get("probes_dropped_priority", 0)
+                     + events.get("probes_dropped_contention", 0)])
+    return format_table(
+        ["Probe drop rule", "Delivered", "Spins", "Probes dropped"],
+        rows,
+        title="Ablation: strict vs contention-only probe priority drop "
+              "(saturated 1-VC mesh)"), results
+
+
+def run_wait_policy_ablation():
+    """FAvORS output selection: credit-based least-active vs random wait."""
+    from repro.routing.favors import FavorsMinimal
+
+    rows = []
+    results = {}
+    for policy in ("least_active", "random"):
+        cycles = scale(2000, 4000, 20000)
+        network = Network(MeshTopology(8, 8), NetworkConfig(vcs_per_vnet=1),
+                          FavorsMinimal(3, wait_policy=policy),
+                          spin=SpinParams(tdd=32), seed=3)
+        network.stats.open_window(400, cycles)
+        traffic = SyntheticTraffic(
+            network, make_pattern("transpose", 64, cols=8), 0.18, seed=3,
+            stop_at=cycles)
+        simulator = Simulator()
+        simulator.register(traffic)
+        simulator.register(network)
+        simulator.run(cycles + 2000)
+        latency = network.stats.latency().mean
+        results[policy] = latency
+        rows.append([policy, round(latency, 1),
+                     round(network.stats.delivery_ratio(), 3),
+                     network.stats.events.get("spins", 0)])
+    return format_table(
+        ["Wait policy", "Mean latency", "Delivered", "Spins"],
+        rows,
+        title="Ablation: FAvORS blocked-output selection "
+              "(8x8 mesh, transpose, 1 VC)"), results
+
+
+def run_implementation_mode_ablation():
+    """Three implementations of the SPIN theory side by side.
+
+    distributed — the paper's Sec. IV protocol (probes/moves/kill_moves);
+    centralized — the Sec. III reference (oracle + orchestrated spin);
+    proactive   — footnote 3 / DRAIN (detectionless periodic drains).
+    """
+    from repro.core.centralized import CentralizedSpinPlane
+    from repro.core.proactive import ProactiveSpinPlane
+
+    rows = []
+    results = {}
+    cycles = scale(3000, 6000, 20000)
+    modes = {
+        "distributed": dict(spin=SpinParams(tdd=32)),
+        "centralized": dict(control_planes=(CentralizedSpinPlane(32),)),
+        "proactive": dict(control_planes=(ProactiveSpinPlane(32, 8),)),
+    }
+    for mode, kwargs in modes.items():
+        network = Network(MeshTopology(4, 4), NetworkConfig(vcs_per_vnet=1),
+                          MinimalAdaptiveRouting(5), seed=5, **kwargs)
+        network.stats.open_window(0, cycles // 2)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.3, seed=5,
+            stop_at=cycles // 2, mix=PacketMix.single(1))
+        simulator = Simulator()
+        simulator.register(traffic)
+        simulator.register(network)
+        simulator.run(cycles)
+        delivered = network.stats.packets_delivered
+        results[mode] = delivered
+        events = network.stats.events
+        spins = (events.get("spins", 0) + events.get("centralized_spins", 0)
+                 + events.get("proactive_drains", 0))
+        rows.append([mode, delivered, spins, events.get("probes_sent", 0)])
+    return format_table(
+        ["Implementation", "Delivered", "Spins/drains", "Probes"],
+        rows,
+        title="Ablation: distributed vs centralized vs proactive SPIN "
+              "(saturated 1-VC mesh)"), results
+
+
+def run_experiment():
+    tdd_table, tdd_rows = run_tdd_ablation()
+    pm_table, pm_results = run_probe_move_ablation()
+    sp_table, sp_results = run_strict_priority_ablation()
+    wp_table, wp_results = run_wait_policy_ablation()
+    pa_table, pa_results = run_implementation_mode_ablation()
+    text = "\n\n".join([tdd_table, pm_table, sp_table, wp_table, pa_table])
+    return text, tdd_rows, pm_results, sp_results, wp_results, pa_results
+
+
+def test_ablations(benchmark):
+    (text, tdd_rows, pm_results, sp_results, wp_results,
+     pa_results) = run_once(benchmark, run_experiment)
+    write_result("ablations", text)
+    # Every configuration recovers.
+    assert all(row[1] is not None for row in tdd_rows)
+    # Larger tDD -> strictly slower recovery of the same deadlock.
+    recovery = [row[1] for row in tdd_rows]
+    assert recovery == sorted(recovery)
+    # probe_move accelerates multi-spin recovery.
+    assert pm_results[True] <= pm_results[False]
+    # Both priority readings keep the network live under saturation.
+    assert all(delivered > 0 for delivered in sp_results.values())
+    # Both FAvORS wait policies work; both proactive and reactive modes
+    # keep a saturated 1-VC mesh delivering.
+    assert all(latency > 0 for latency in wp_results.values())
+    assert all(delivered > 0 for delivered in pa_results.values())

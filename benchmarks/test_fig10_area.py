@@ -1,0 +1,86 @@
+"""Fig. 10 + Sec. VI area/power claims — router cost comparison.
+
+Regenerates (a) the Fig. 10 area-overhead bars (designs normalized to the
+west-first avoidance router) and (b) the Sec. VI-C/D headline savings of
+the 1-VC SPIN-enabled routers versus multi-VC baselines, from the
+calibrated analytical model (DESIGN.md substitution note 3).
+"""
+
+import pytest
+
+from repro.harness.tables import format_table
+from repro.power.model import AreaModel, EnergyModel, RouterSpec
+from repro.power.modules import SPIN_MODULES, loop_buffer_flits
+
+from benchmarks._common import run_once, write_result
+
+MESH_SPEC_3VC = RouterSpec(radix=5, vcs=3)
+DFLY_RADIX = 16
+
+
+def run_experiment():
+    area = AreaModel()
+    energy = EnergyModel()
+
+    fig10_rows = []
+    base = area.design_area("westfirst", MESH_SPEC_3VC)
+    for design, label in [("westfirst", "West-first (Dally avoidance)"),
+                          ("spin", "SPIN (this paper)"),
+                          ("static_bubble", "Static Bubble (recovery)"),
+                          ("escape_vc", "Escape-VC (Duato avoidance)")]:
+        total = area.design_area(design, MESH_SPEC_3VC, num_routers=64)
+        fig10_rows.append([label, round(total / base, 3),
+                           f"{100 * (total / base - 1):+.1f}%"])
+    fig10 = format_table(
+        ["Design", "Area (norm.)", "Overhead"],
+        fig10_rows,
+        title="Fig. 10: router area normalized to west-first (8x8 mesh, 3 VC)")
+
+    savings_rows = []
+    for name, radix, a, b in [
+        ("mesh 1VC vs 3VC", 5, 1, 3),
+        ("mesh 1VC vs 2VC", 5, 1, 2),
+        ("dragonfly 1VC vs 3VC", DFLY_RADIX, 1, 3),
+    ]:
+        area_cut = 1 - (area.router_area(RouterSpec(radix, a))
+                        / area.router_area(RouterSpec(radix, b)))
+        power_cut = 1 - (energy.router_power(RouterSpec(radix, a))
+                         / energy.router_power(RouterSpec(radix, b)))
+        savings_rows.append([name, f"{100 * area_cut:.1f}%",
+                             f"{100 * power_cut:.1f}%"])
+    savings = format_table(
+        ["Comparison", "Area saving", "Power saving"],
+        savings_rows,
+        title="Sec. VI-C/D: 1-VC router savings enabled by SPIN")
+
+    modules = format_table(
+        ["Module", "Role"],
+        [[m.name, m.description] for m in SPIN_MODULES],
+        title="Table II: SPIN router modules "
+              f"(loop buffer = {loop_buffer_flits(5, 64):.1f} flits for an "
+              "8x8 mesh with 128-bit links)")
+
+    return "\n\n".join([fig10, savings, modules]), fig10_rows, savings_rows
+
+
+def test_fig10(benchmark):
+    text, fig10_rows, savings_rows = run_once(benchmark, run_experiment)
+    write_result("fig10_area", text)
+    overheads = {row[0].split(" ")[0]: row[1] for row in fig10_rows}
+    assert overheads["West-first"] == 1.0
+    assert overheads["SPIN"] == pytest.approx(1.04, abs=0.01)
+    assert overheads["Static"] == pytest.approx(1.10, abs=0.01)
+    assert overheads["Escape-VC"] == pytest.approx(2.00, abs=0.05)
+    # Ordering of Fig. 10: west-first < SPIN < static bubble << escape-VC.
+    values = [row[1] for row in fig10_rows]
+    assert values == sorted(values)
+    # Headline savings within 2 points of the paper's numbers.
+    expected = {"mesh 1VC vs 3VC": (52, 50),
+                "mesh 1VC vs 2VC": (36, 34),
+                "dragonfly 1VC vs 3VC": (53, 55)}
+    for name, area_str, power_str in savings_rows:
+        area_pct = float(area_str.rstrip("%"))
+        power_pct = float(power_str.rstrip("%"))
+        want_area, want_power = expected[name]
+        assert abs(area_pct - want_area) <= 2, name
+        assert abs(power_pct - want_power) <= 2, name

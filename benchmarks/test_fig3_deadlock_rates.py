@@ -1,0 +1,93 @@
+"""Fig. 3 — minimum injection rate at which the networks first deadlock.
+
+The paper's motivation experiment: with recovery disabled (minimal adaptive
+on the mesh, unrestricted UGAL on the dragonfly, 3 VCs, 1-flit packets),
+scan the offered load upward and record the lowest rate at which the
+ground-truth oracle observes a routing deadlock within the run.
+
+Paper's shape: deadlocks need injection rates >= 10x application loads
+(~0.3+ flits/node/cycle), and some patterns (tornado on the mesh) never
+deadlock under minimal routing.
+"""
+
+import pytest
+
+from repro.deadlock.waitgraph import has_deadlock
+from repro.harness.configs import build_network
+from repro.harness.tables import format_table
+from repro.sim.engine import Simulator
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from benchmarks._common import (
+    DRAGONFLY,
+    MESH_SIDE,
+    run_once,
+    scale,
+    write_result,
+)
+
+#: Cycles simulated per probe point (paper: 100K).
+WINDOW = scale(3000, 6000, 100_000)
+RATES = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
+
+
+def deadlocks_within(design, pattern_name, rate, cols, dragonfly):
+    network = build_network(design, seed=7, mesh_side=MESH_SIDE,
+                            dragonfly=dragonfly)
+    pattern = make_pattern(pattern_name, network.topology.num_nodes,
+                           cols=cols)
+    traffic = SyntheticTraffic(network, pattern, rate, seed=7,
+                               mix=PacketMix.single(1))
+    simulator = Simulator()
+    simulator.register(traffic)
+    simulator.register(network)
+    check_every = 200
+    for _ in range(WINDOW // check_every):
+        simulator.run(check_every)
+        if has_deadlock(network, simulator.cycle):
+            return True
+    return False
+
+
+def minimum_deadlock_rate(design, pattern_name, cols=None, dragonfly=None):
+    for rate in RATES:
+        if deadlocks_within(design, pattern_name, rate, cols, dragonfly):
+            return rate
+    return None
+
+
+def run_experiment():
+    rows = []
+    mesh_patterns = ["uniform", "transpose", "bit_complement", "tornado"]
+    for pattern in mesh_patterns:
+        rate = minimum_deadlock_rate("mesh:minadaptive-nospin-3vc", pattern,
+                                     cols=MESH_SIDE)
+        rows.append([f"mesh/{pattern}",
+                     "never (<=1.0)" if rate is None else rate])
+    dfly_patterns = ["uniform", "bit_complement", "tornado"]
+    for pattern in dfly_patterns:
+        rate = minimum_deadlock_rate("dfly:ugal-nospin-3vc", pattern,
+                                     dragonfly=DRAGONFLY)
+        rows.append([f"dragonfly/{pattern}",
+                     "never (<=1.0)" if rate is None else rate])
+    table = format_table(
+        ["Topology/pattern", "Min deadlocking rate (flits/node/cycle)"],
+        rows,
+        title=f"Fig. 3: minimum injection rate at which the network "
+              f"deadlocks within {WINDOW} cycles (3 VCs, 1-flit packets, "
+              f"no recovery)")
+    return table, rows
+
+
+def test_fig3(benchmark):
+    table, rows = run_once(benchmark, run_experiment)
+    write_result("fig3_deadlock_rates", table)
+    values = dict(rows)
+    # Paper shape: deadlocks are rare events — an order of magnitude above
+    # application loads (~0.01-0.05 flits/node/cycle).
+    numeric = [v for v in values.values() if isinstance(v, float)]
+    assert numeric, "at least one configuration must deadlock"
+    assert min(numeric) >= 0.2
+    # Mesh uniform deadlocks at some finite rate ...
+    assert isinstance(values["mesh/uniform"], float)

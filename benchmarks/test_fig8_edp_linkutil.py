@@ -1,0 +1,148 @@
+"""Fig. 8 — (a) network EDP under PARSEC, (b) link utilization split.
+
+(a) EscapeVC-3VC vs MinAdaptive-2VC-SPIN over coherence-style PARSEC proxy
+    traffic, EDP normalized to EscapeVC.  Paper: SPIN with one fewer VC per
+    port gives ~18% lower network EDP at identical performance.
+
+(b) Mean link-cycle split between flits, SPIN special messages and idle for
+    a 3-VC SPIN mesh at low/medium/high load.  Paper: SM share ~4% at
+    medium load, <5% combined everywhere — the links are either idle or
+    carrying flits at almost all times.
+"""
+
+from repro.config import NetworkConfig, SpinParams
+from repro.harness.tables import format_table
+from repro.network.network import Network
+from repro.power.model import RouterSpec, network_edp
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.routing.escape import EscapeVcRouting
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.parsec import PARSEC_PROFILES, ParsecWorkload
+from repro.traffic.patterns import make_pattern
+
+from benchmarks._common import (
+    MESH_SIDE,
+    TDD,
+    run_once,
+    scale,
+    sim_config,
+    write_result,
+)
+
+BENCHMARKS = scale(
+    ["canneal", "swaptions"],
+    ["blackscholes", "bodytrack", "canneal", "dedup", "fluidanimate",
+     "streamcluster", "swaptions", "x264"],
+    list(PARSEC_PROFILES),
+)
+VNETS = 3
+
+
+def run_parsec(benchmark_name, routing_factory, vcs, spin):
+    sim = sim_config()
+    network = Network(MeshTopology(MESH_SIDE, MESH_SIDE),
+                      NetworkConfig(vcs_per_vnet=vcs, num_vnets=VNETS),
+                      routing_factory(), spin=spin, seed=3)
+    stop = sim.warmup_cycles + sim.measure_cycles
+    network.stats.open_window(sim.warmup_cycles, stop)
+    workload = ParsecWorkload(network, PARSEC_PROFILES[benchmark_name],
+                              seed=3, stop_at=stop)
+    simulator = Simulator()
+    simulator.register(workload)
+    simulator.register(network)
+    simulator.run(sim.total_cycles)
+    spec = RouterSpec(radix=5, vcs=vcs * VNETS)
+    return network, network_edp(network, spec, cycles=sim.total_cycles)
+
+
+def run_edp_experiment():
+    rows = []
+    ratios = []
+    for name in BENCHMARKS:
+        escape_net, escape_edp = run_parsec(
+            name, lambda: EscapeVcRouting(3), 3, None)
+        spin_net, spin_edp = run_parsec(
+            name, lambda: MinimalAdaptiveRouting(3), 2, SpinParams(tdd=128))
+        ratio = spin_edp / escape_edp
+        ratios.append(ratio)
+        rows.append([name,
+                     round(escape_net.stats.latency().mean, 1),
+                     round(spin_net.stats.latency().mean, 1),
+                     ratio])
+    mean_ratio = sum(ratios) / len(ratios)
+    rows.append(["AVERAGE", "", "", mean_ratio])
+    table = format_table(
+        ["PARSEC benchmark", "EscapeVC-3VC latency",
+         "SPIN-2VC latency", "EDP (normalized)"],
+        rows,
+        title="Fig. 8(a): network EDP, MinAdaptive 2VC SPIN normalized to "
+              "EscapeVC 3VC (PARSEC proxy traffic)")
+    return table, mean_ratio, rows
+
+
+def run_linkutil_experiment():
+    # The paper's 0.01 / 0.2 / 0.5 are low / medium / high load relative to
+    # its substrate's saturation (~0.5 for the 3-VC wormhole mesh).  Our
+    # packet-atomic VCT substrate saturates lower, so high load is scaled
+    # accordingly; tDD stays at the paper's 128 (the probe rate, and hence
+    # the SM utilization this figure measures, depends directly on it).
+    sim = sim_config()
+    rows = []
+    # 0.01 / 0.15 / 0.30 are low / medium / high relative to this
+    # substrate's saturation; 0.45 is deadlock-dominated overload, shown
+    # for completeness (beyond the paper's measured regime).
+    for rate in (0.01, 0.15, 0.30, 0.45):
+        network = Network(MeshTopology(MESH_SIDE, MESH_SIDE),
+                          NetworkConfig(vcs_per_vnet=3),
+                          MinimalAdaptiveRouting(5),
+                          spin=SpinParams(tdd=128), seed=5)
+        stop = sim.warmup_cycles + sim.measure_cycles
+        network.stats.open_window(sim.warmup_cycles, stop)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", network.topology.num_nodes),
+            rate, seed=5, stop_at=stop)
+        simulator = Simulator()
+        simulator.register(traffic)
+        simulator.register(network)
+        simulator.run(sim.warmup_cycles)
+        network.reset_link_utilization()
+        simulator.run(sim.measure_cycles)
+        flit, sm, idle = network.mean_link_utilization()
+        rows.append([rate, round(100 * flit, 2), round(100 * sm, 2),
+                     round(100 * idle, 2)])
+    table = format_table(
+        ["Injection rate", "Flit %", "Special msg %", "Idle %"],
+        rows,
+        title="Fig. 8(b): mean link utilization split "
+              "(MinAdaptive 3VC + SPIN, uniform random)")
+    return table, rows
+
+
+def test_fig8a_edp(benchmark):
+    table, mean_ratio, rows = run_once(benchmark, run_edp_experiment)
+    write_result("fig8a_parsec_edp", table)
+    # Paper: ~18% lower EDP on average; assert the direction and rough size.
+    assert mean_ratio < 0.95, f"SPIN 2VC should cut EDP (got {mean_ratio})"
+    assert mean_ratio > 0.5, "EDP cut should come from 1 fewer VC, not magic"
+    # Identical application performance: latencies within 15%.
+    for name, escape_lat, spin_lat, _ in rows[:-1]:
+        assert abs(spin_lat - escape_lat) / max(escape_lat, 1) < 0.15, name
+
+
+def test_fig8b_link_utilization(benchmark):
+    table, rows = run_once(benchmark, run_linkutil_experiment)
+    write_result("fig8b_link_utilization", table)
+    by_rate = {row[0]: row for row in rows}
+    # Low load: links mostly idle, no SMs at all.
+    assert by_rate[0.01][2] == 0.0
+    assert by_rate[0.01][3] > 90
+    # SM share stays under 5% of link cycles throughout the operating
+    # regime (paper Sec. VI-E2); the 0.45 overload row is outside it.
+    assert all(row[2] < 5.0 for row in rows if row[0] <= 0.30)
+    # Flit utilization rises with load; idle time rises again once the
+    # network becomes deadlock-dominated (the paper's "links are mostly
+    # idle in case of frequent deadlocks" observation).
+    assert by_rate[0.15][1] > by_rate[0.01][1]
+    assert by_rate[0.45][3] > by_rate[0.30][3]

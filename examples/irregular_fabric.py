@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""SPIN on an irregular fabric: a power-gated mesh.
+
+The paper positions SPIN as the natural deadlock-freedom framework for
+irregular networks (faulty/power-gated NoCs, random datacenter graphs,
+accelerator fabrics): the classic alternative, up*/down* routing, must
+restrict turns against a spanning tree, stretching paths; SPIN needs no
+topology knowledge at all and routes every packet minimally.
+
+This example knocks random links out of an 8x8 mesh (as a power-gating
+controller would), then compares:
+
+  * up*/down* (Dally's theory, avoidance — the ARIADNE-style baseline)
+  * minimal adaptive + SPIN (recovery, unrestricted)
+
+Run:
+    python examples/irregular_fabric.py
+"""
+
+from repro.config import NetworkConfig, SimulationConfig, SpinParams
+from repro.network.network import Network
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.routing.table import UpDownRouting
+from repro.sim.rng import DeterministicRng
+from repro.stats.sweep import run_point
+from repro.topology.irregular import faulty_mesh
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+SIDE = 8
+FAILED_LINKS = 16
+RATE = 0.05
+SIM = SimulationConfig(warmup_cycles=500, measure_cycles=2500,
+                       drain_cycles=3000)
+
+
+def make_topology():
+    return faulty_mesh(SIDE, SIDE, num_failed_links=FAILED_LINKS,
+                       rng=DeterministicRng(42))
+
+
+def run(design_name, routing, spin):
+    def network_factory():
+        return Network(make_topology(), NetworkConfig(vcs_per_vnet=1),
+                       routing(), spin=spin, seed=7)
+
+    def traffic_factory(network, stop_at):
+        pattern = make_pattern("uniform", network.topology.num_nodes)
+        return SyntheticTraffic(network, pattern, RATE, seed=7,
+                                stop_at=stop_at)
+
+    network, point = run_point(network_factory, traffic_factory, SIM,
+                               injection_rate=RATE)
+    return design_name, network, point
+
+
+def main():
+    topology = make_topology()
+    print(f"Power-gated {SIDE}x{SIDE} mesh: {FAILED_LINKS} links disabled, "
+          f"{topology.num_routers} routers still connected.")
+    print(f"Uniform random traffic at {RATE} flits/node/cycle, 1 VC.\n")
+
+    results = [
+        run("up*/down* (avoidance)", lambda: UpDownRouting(7), None),
+        run("MinAdaptive + SPIN (recovery)",
+            lambda: MinimalAdaptiveRouting(7), SpinParams(tdd=64)),
+    ]
+
+    header = (f"{'design':32s} {'mean lat':>9s} {'p99 lat':>9s} "
+              f"{'mean hops':>10s} {'delivered':>10s} {'spins':>6s}")
+    print(header)
+    print("-" * len(header))
+    for name, network, point in results:
+        print(f"{name:32s} {point.mean_latency:9.1f} "
+              f"{point.p99_latency:9.1f} "
+              f"{network.stats.mean_hops():10.2f} "
+              f"{point.delivery_ratio:10.3f} "
+              f"{point.events.get('spins', 0):6d}")
+
+    updown_hops = results[0][1].stats.mean_hops()
+    spin_hops = results[1][1].stats.mean_hops()
+    if spin_hops < updown_hops:
+        print(f"\nSPIN's unrestricted minimal routing saves "
+              f"{100 * (1 - spin_hops / updown_hops):.1f}% hops per packet "
+              f"versus the spanning-tree-restricted baseline — the paper's "
+              f"argument for SPIN on irregular topologies (Sec. I).")
+
+
+if __name__ == "__main__":
+    main()

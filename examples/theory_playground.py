@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Table I, live: all five deadlock-freedom theories on one workload.
+
+Runs the same uniform-random, single-flit workload through an executable
+exemplar of every framework in the paper's Table I:
+
+  Dally's theory     west-first turn model          (avoidance)
+  Duato's theory     escape VC                      (avoidance)
+  Flow control       bubble flow control on a torus (avoidance)
+  Deflection         BLESS-style bufferless         (by construction)
+  SPIN               FAvORS-Min + recovery          (recovery)
+
+and reports each framework's characteristic cost: turn restrictions cost
+path diversity, escape VCs cost buffers, bubbles cost injection
+throttling, deflection costs misroutes — SPIN costs only the rare spins.
+
+Run:
+    python examples/theory_playground.py
+"""
+
+from repro.config import NetworkConfig, SimulationConfig, SpinParams
+from repro.deadlock.bubble import BubbleFlowControlRouting
+from repro.deflection.network import DeflectionNetwork
+from repro.network.network import Network
+from repro.routing.escape import EscapeVcRouting
+from repro.routing.favors import FavorsMinimal
+from repro.routing.turn_model import WestFirstRouting
+from repro.sim.rng import DeterministicRng
+from repro.stats.sweep import run_point
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import UniformRandom, make_pattern
+
+SIDE = 4
+RATE = 0.12
+SIM = SimulationConfig(warmup_cycles=300, measure_cycles=2000,
+                       drain_cycles=3000)
+SEED = 11
+
+
+def run_buffered(name, topology_factory, routing_factory, vcs, spin,
+                 extra=""):
+    def network_factory():
+        return Network(topology_factory(), NetworkConfig(vcs_per_vnet=vcs),
+                       routing_factory(), spin=spin, seed=SEED)
+
+    def traffic_factory(network, stop_at):
+        pattern = make_pattern("uniform", network.topology.num_nodes)
+        return SyntheticTraffic(network, pattern, RATE, seed=SEED,
+                                stop_at=stop_at, mix=PacketMix.single(1))
+
+    network, point = run_point(network_factory, traffic_factory, SIM,
+                               injection_rate=RATE)
+    cost = extra or f"spins={point.events.get('spins', 0)}"
+    return (name, vcs, round(point.mean_latency, 1),
+            round(network.stats.mean_hops(), 2),
+            round(point.delivery_ratio, 3), cost)
+
+
+def run_deflection():
+    network = DeflectionNetwork(MeshTopology(SIDE, SIDE), seed=SEED)
+    stop = SIM.warmup_cycles + SIM.measure_cycles
+    network.stats.open_window(SIM.warmup_cycles, stop)
+    rng = DeterministicRng(SEED)
+    pattern = UniformRandom(SIDE * SIDE)
+    for cycle in range(SIM.total_cycles):
+        if cycle < stop:
+            for node in range(SIDE * SIDE):
+                if rng.bernoulli(RATE):
+                    dst = pattern.dest(node, rng)
+                    if dst is not None:
+                        network.offer(node, dst, cycle)
+        network.step()
+    stats = network.stats
+    return ("Deflection (BLESS-like)", 0, round(stats.latency().mean, 1),
+            round(stats.mean_hops(), 2), round(stats.delivery_ratio(), 3),
+            f"deflections={network.total_deflections}")
+
+
+def main():
+    print(f"Table I live: {SIDE}x{SIDE} network, uniform random, "
+          f"{RATE} flits/node/cycle, 1-flit packets\n")
+    rows = [
+        run_buffered("Dally: west-first", lambda: MeshTopology(SIDE, SIDE),
+                     lambda: WestFirstRouting(SEED), 1, None,
+                     extra="turn restrictions"),
+        run_buffered("Duato: escape VC", lambda: MeshTopology(SIDE, SIDE),
+                     lambda: EscapeVcRouting(SEED), 2, None,
+                     extra="+1 escape VC/port"),
+        run_buffered("FlowCtrl: bubble (torus)",
+                     lambda: TorusTopology(SIDE, SIDE),
+                     lambda: BubbleFlowControlRouting(SEED), 1, None,
+                     extra="injection throttling"),
+        run_deflection(),
+        run_buffered("SPIN: FAvORS-Min", lambda: MeshTopology(SIDE, SIDE),
+                     lambda: FavorsMinimal(SEED), 1, SpinParams(tdd=32)),
+    ]
+    header = (f"{'framework':26s} {'VCs':>4s} {'mean lat':>9s} "
+              f"{'mean hops':>10s} {'delivered':>10s}  cost")
+    print(header)
+    print("-" * (len(header) + 16))
+    for name, vcs, latency, hops, delivered, cost in rows:
+        print(f"{name:26s} {vcs:4d} {latency:9.1f} {hops:10.2f} "
+              f"{delivered:10.3f}  {cost}")
+    print("\nAll five frameworks deliver the workload; they differ in what "
+          "they pay for it.\nSPIN is the only one that is simultaneously "
+          "1-VC, fully adaptive, minimal-capable\nand topology-agnostic "
+          "(Table I, last row).")
+    print("\nCaveats: bubble runs on a torus (shorter paths); deflection "
+          "is a bufferless\nsubstrate without the 1-cycle router pipeline, "
+          "so its absolute latency is not\ncomparable — its cost shows up "
+          "as deflections (misrouted hops) instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available).
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro.cli designs
+    python -m repro.cli run --design mesh:favors-min-spin-1vc \\
+        --pattern transpose --rate 0.15
+    python -m repro.cli sweep --design mesh:westfirst-3vc --pattern uniform \\
+        --rates 0.05,0.1,0.15,0.2,0.3
+    python -m repro.cli area --radix 5 --vcs 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import SimulationConfig
+from repro.harness.configs import ALL_DESIGNS, get_design
+from repro.harness.runner import latency_curve, run_design
+from repro.harness.tables import format_table
+from repro.power.model import AreaModel, EnergyModel, RouterSpec
+
+
+def _sim_config(args) -> SimulationConfig:
+    return SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        drain_cycles=args.drain,
+        deadlock_abort_cycles=args.abort_cycles,
+    )
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design", required=True,
+                        help="design name (see `designs`)")
+    parser.add_argument("--pattern", default="uniform",
+                        help="traffic pattern name")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--mesh-side", type=int, default=8)
+    parser.add_argument("--dragonfly", default="2,4,2",
+                        help="p,a,h (paper scale: 4,8,4)")
+    parser.add_argument("--tdd", type=int, default=None,
+                        help="SPIN detection threshold override")
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--measure", type=int, default=3000)
+    parser.add_argument("--drain", type=int, default=3000)
+    parser.add_argument("--abort-cycles", type=int, default=2000)
+
+
+def cmd_designs(args) -> int:
+    rows = [
+        [name, d.topology, d.vcs_per_vnet, d.theory, d.scheme, d.adaptive]
+        for name, d in sorted(ALL_DESIGNS.items())
+    ]
+    print(format_table(
+        ["Name", "Topology", "VCs", "Theory", "Scheme", "Adaptivity"],
+        rows, title="Available designs (Table III registry)"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    get_design(args.design)  # fail fast with the full list on a typo
+    dragonfly = tuple(int(x) for x in args.dragonfly.split(","))
+    network, point = run_design(
+        args.design, args.pattern, args.rate, _sim_config(args),
+        seed=args.seed, mesh_side=args.mesh_side, dragonfly=dragonfly,
+        tdd=args.tdd)
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ["offered load (flits/node/cycle)", args.rate],
+            ["mean latency (cycles)", round(point.mean_latency, 2)],
+            ["p99 latency (cycles)", round(point.p99_latency, 2)],
+            ["received throughput", round(point.throughput, 4)],
+            ["delivery ratio", round(point.delivery_ratio, 4)],
+            ["wedged", point.wedged],
+            ["spins", point.events.get("spins", 0)],
+            ["probes sent", point.events.get("probes_sent", 0)],
+            ["mean hops", round(network.stats.mean_hops(), 3)],
+        ],
+        title=f"{args.design} / {args.pattern} @ {args.rate}"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    rates = [float(x) for x in args.rates.split(",")]
+    dragonfly = tuple(int(x) for x in args.dragonfly.split(","))
+    points, saturation = latency_curve(
+        args.design, args.pattern, rates, _sim_config(args), seed=args.seed,
+        mesh_side=args.mesh_side, dragonfly=dragonfly, tdd=args.tdd)
+    rows = [
+        [p.injection_rate, round(p.mean_latency, 1), round(p.throughput, 4),
+         round(p.delivery_ratio, 3), p.wedged, p.events.get("spins", 0)]
+        for p in points
+    ]
+    print(format_table(
+        ["Rate", "Mean latency", "Throughput", "Delivered", "Wedged",
+         "Spins"],
+        rows, title=f"{args.design} / {args.pattern}"))
+    print(f"\nsaturation rate: {saturation}")
+    return 0
+
+
+def cmd_area(args) -> int:
+    spec = RouterSpec(radix=args.radix, vcs=args.vcs,
+                      buffer_depth=args.depth, flit_bits=args.flit_bits)
+    area_model = AreaModel()
+    energy_model = EnergyModel()
+    rows = [
+        ["router area (a.u.)", round(area_model.router_area(spec), 1)],
+        ["router power (a.u.)", round(energy_model.router_power(spec), 1)],
+        ["+ SPIN modules", round(area_model.spin_overhead(
+            spec, args.routers), 1)],
+        ["+ static bubble", round(area_model.static_bubble_overhead(spec), 1)],
+        ["+ escape VC", round(area_model.escape_vc_overhead(spec), 1)],
+    ]
+    print(format_table(["Quantity", "Value"], rows,
+                       title=f"radix={args.radix} vcs={args.vcs}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SPIN (ISCA 2018) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list design configurations")
+
+    run_parser = sub.add_parser("run", help="simulate one design point")
+    _add_run_args(run_parser)
+    run_parser.add_argument("--rate", type=float, required=True,
+                            help="offered load in flits/node/cycle")
+
+    sweep_parser = sub.add_parser("sweep", help="latency-vs-injection sweep")
+    _add_run_args(sweep_parser)
+    sweep_parser.add_argument("--rates", required=True,
+                              help="comma-separated offered loads")
+
+    area_parser = sub.add_parser("area", help="router cost model")
+    area_parser.add_argument("--radix", type=int, default=5)
+    area_parser.add_argument("--vcs", type=int, default=3)
+    area_parser.add_argument("--depth", type=int, default=5)
+    area_parser.add_argument("--flit-bits", type=int, default=128)
+    area_parser.add_argument("--routers", type=int, default=64)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "designs": cmd_designs,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "area": cmd_area,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

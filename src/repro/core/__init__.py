@@ -1,0 +1,44 @@
+"""SPIN — Synchronized Progress in Interconnection Networks.
+
+The paper's primary contribution: a distributed, topology-agnostic deadlock
+*recovery* framework that resolves routing deadlocks by synchronized one-hop
+movement ("spins") of the deadlocked ring, instead of avoiding cyclic buffer
+dependencies with routing restrictions (Dally) or extra escape buffers
+(Duato).
+
+Components map one-to-one onto the paper's Sec. IV implementation:
+
+* :mod:`repro.core.fsm`        — the 7-state per-router counter FSM (Fig. 4a).
+* :mod:`repro.core.messages`   — probe / move / probe_move / kill_move SMs.
+* :mod:`repro.core.priority`   — rotating-priority rule (epoch = 4 x tDD).
+* :mod:`repro.core.controller` — per-router controller: detection counter,
+  probe manager, move manager, loop buffer (Table II's modules).
+* :mod:`repro.core.executor`   — the spin itself: validated, synchronized
+  rotation of the frozen dependency ring.
+* :mod:`repro.core.framework`  — control plane wiring: bufferless SM
+  transport with priority-based dropping, controller scheduling.
+"""
+
+from repro.core.fsm import SpinState
+from repro.core.messages import (
+    KillMoveMessage,
+    MoveMessage,
+    ProbeMessage,
+    ProbeMoveMessage,
+    SpecialMessage,
+)
+from repro.core.centralized import CentralizedSpinPlane
+from repro.core.framework import SpinFramework
+from repro.core.proactive import ProactiveSpinPlane
+
+__all__ = [
+    "CentralizedSpinPlane",
+    "ProactiveSpinPlane",
+    "SpinState",
+    "SpecialMessage",
+    "ProbeMessage",
+    "MoveMessage",
+    "ProbeMoveMessage",
+    "KillMoveMessage",
+    "SpinFramework",
+]

@@ -1,0 +1,160 @@
+"""Centralized SPIN — the reference implementation of Sec. III.
+
+The paper notes that the three SPIN features (detect a deadlock, agree on
+a time, spin together) are trivial with a central coordinator, and builds
+the distributed version only for scalability.  This module provides that
+centralized reference: an omniscient controller that
+
+1. periodically runs the exact wait-graph oracle,
+2. extracts one cyclic dependency chain from the deadlocked set by
+   following ``current_request`` edges,
+3. rotates it immediately (the network-wide synchronized move is free when
+   a single entity orchestrates it).
+
+It is useful as an upper bound when evaluating the distributed
+implementation's coordination overheads (see the ablation benchmark), for
+debugging (it resolves any deadlock in one oracle period), and as an
+executable statement of the theory stripped of all protocol concerns.
+Everything about it is un-scalable by design: it reads global state every
+period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.deadlock.waitgraph import find_deadlocked_packets
+from repro.errors import ConfigurationError
+
+VcKey = Tuple[int, int, int]
+
+
+class CentralizedSpinPlane:
+    """Oracle-driven deadlock recovery with perfect coordination.
+
+    Args:
+        check_period: Cycles between oracle evaluations (plays the role of
+            tDD: how stale a deadlock may get before resolution).
+    """
+
+    def __init__(self, check_period: int = 32) -> None:
+        if check_period < 1:
+            raise ConfigurationError("check_period must be >= 1")
+        self.check_period = check_period
+        self.network = None
+        self.spins_performed = 0
+
+    def bind(self, network) -> None:
+        self.network = network
+
+    def phase_control(self, cycle: int) -> None:
+        if cycle == 0 or cycle % self.check_period:
+            return
+        network = self.network
+        if network.packets_in_flight() == 0:
+            return
+        deadlocked = find_deadlocked_packets(network, cycle)
+        if not deadlocked:
+            return
+        ring = self._extract_ring(deadlocked, cycle)
+        if ring:
+            self._rotate(ring, cycle)
+
+    # ------------------------------------------------------------------
+    # Ring extraction
+    # ------------------------------------------------------------------
+    def _extract_ring(self, deadlocked, now: int) -> List[Tuple[object, int]]:
+        """One cyclic chain [(vc, outport), ...] inside the deadlocked set.
+
+        Follows each deadlocked packet's ``current_request`` edge to a
+        deadlocked VC at the requested port's downstream input; the walk
+        must cycle because it never leaves the (finite) deadlocked set.
+        """
+        network = self.network
+        by_key: Dict[VcKey, object] = {}
+        for router, inport, vc in network.occupied_vcs():
+            packet = vc.packet
+            if packet is not None and packet.uid in deadlocked:
+                by_key[(router.id, inport, vc.index)] = vc
+
+        def successor(vc) -> Optional[Tuple[object, int]]:
+            packet = vc.packet
+            request = packet.current_request
+            router = network.routers[vc.router]
+            if request is None or request not in router.out_neighbors:
+                return None
+            neighbor, dst_inport = router.out_neighbors[request]
+            slice_ = neighbor.vnet_slice(dst_inport, packet.vnet)
+            allowed = network.routing.vc_choices(packet, router, request)
+            base = packet.vnet * network.config.vcs_per_vnet
+            for local_index in allowed:
+                candidate = slice_[local_index]
+                key = (neighbor.id, dst_inport, base + local_index)
+                if key in by_key and not candidate.frozen:
+                    return by_key[key], request
+            return None
+
+        if not by_key:
+            return []
+        start = next(iter(by_key.values()))
+        seen: Dict[int, int] = {}
+        walk: List[Tuple[object, int]] = []
+        vc = start
+        while True:
+            step = successor(vc)
+            if step is None:
+                return []  # requests shifted since the oracle ran
+            nxt, outport = step
+            if id(vc) in seen:
+                return walk[seen[id(vc)]:]
+            seen[id(vc)] = len(walk)
+            walk.append((vc, outport))
+            vc = nxt
+
+    # ------------------------------------------------------------------
+    # Rotation
+    # ------------------------------------------------------------------
+    def _rotate(self, ring: List[Tuple[object, int]], now: int) -> None:
+        network = self.network
+        config = network.config
+        count = len(ring)
+        # Sanity: contiguous and fully movable, else skip this period.
+        for i, (vc, outport) in enumerate(ring):
+            router = network.routers[vc.router]
+            if vc.frozen or not vc.fully_arrived(now):
+                return
+            if not router.out_links[outport].is_free(now):
+                return
+            neighbor, dst_inport = router.out_neighbors[outport]
+            nxt = ring[(i + 1) % count][0]
+            if (neighbor.id, dst_inport) != (nxt.router, nxt.inport):
+                return
+        packets = [vc.packet for vc, _ in ring]
+        for vc, outport in ring:
+            router = network.routers[vc.router]
+            packet = vc.release(now)
+            router.out_links[outport].occupy(now, packet.length)
+            router.port_busy[vc.inport] = now + packet.length - 1
+            network.note_vc_released(router)
+        for i, (vc, outport) in enumerate(ring):
+            router = network.routers[vc.router]
+            packet = packets[i]
+            target = ring[(i + 1) % count][0]
+            link = router.out_links[outport]
+            was_min = network.topology.min_hops(vc.router,
+                                                packet.routing_target)
+            target.free_at = min(target.free_at, now)
+            target.reserve(packet, now, link.latency, config.router_latency)
+            packet.hops += 1
+            packet.spins += 1
+            if network.topology.min_hops(target.router,
+                                         packet.routing_target) >= was_min:
+                packet.misroutes += 1
+            packet.current_request = None
+            network.routing.on_hop(packet, router, outport)
+            network.stats.count("flit_hops", packet.length)
+            network.note_vc_reserved(network.routers[target.router])
+        network.note_movement()
+        self.spins_performed += 1
+        network.stats.count("centralized_spins")
+        network.stats.count("spin_hops", count)

@@ -1,0 +1,519 @@
+"""Per-router SPIN controller.
+
+Implements the paper's router-side machinery (Sec. IV-A/B, Table II):
+
+* the **detection counter** — points at one occupied VC at a time
+  (round-robin) and fires after ``tDD`` cycles without movement;
+* the **probe manager** — forks/forwards/drops probes per the rules of
+  Sec. IV-B1 and initiates recovery when its own probe returns;
+* the **move manager** — freezes VCs on move/probe_move, unfreezes on
+  kill_move, tracks the latched source id and the ``is_deadlock`` bit;
+* the **loop buffer** — stores the deadlock path between spins.
+
+The controller never touches the datapath directly except by freezing VCs;
+the synchronized movement itself is performed by
+:class:`repro.core.executor.SpinExecutor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.fsm import SpinState
+from repro.core.messages import (
+    KillMoveMessage,
+    MoveMessage,
+    ProbeMessage,
+    ProbeMoveMessage,
+)
+from repro.network.router import is_ejection_port
+from repro.network.vc import VirtualChannel
+
+
+class SpinController:
+    """SPIN state machine and SM handlers for one router."""
+
+    def __init__(self, router, framework) -> None:
+        self.router = router
+        self.framework = framework
+        self.params = framework.params
+        self.state = SpinState.OFF
+        #: Absolute cycle of the next counter event in the current state.
+        self.deadline: Optional[int] = None
+
+        # Detection counter pointer.
+        self.pointer: Optional[Tuple[int, int]] = None  # (inport, vc index)
+        self.pointed_uid: Optional[int] = None
+
+        # Initiator-side latched context.
+        self.probe_inport: Optional[int] = None
+        self.probe_outport: Optional[int] = None
+        #: Message class of the probed dependency; all SMs of this recovery
+        #: are scoped to it (deadlocks form within one vnet).
+        self.probe_vnet: int = 0
+        #: The loop buffer (Table II): outports of the loop's other routers.
+        self.loop_path: Tuple[int, ...] = ()
+        self.loop_delay = 0
+        self.spin_cycle: Optional[int] = None
+        #: Deferred probe_move emission ("after one spin is complete").
+        self.probe_move_send_at: Optional[int] = None
+
+        # Move-manager state shared by initiator and others.
+        self.is_deadlock = False
+        self.latched_source: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Counter tick (called once per cycle)
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        state = self.state
+        if state is SpinState.OFF:
+            if self.router.active_vcs:
+                self._point_at_next_active_vc(now)
+            return
+        if state is SpinState.DD:
+            self._tick_detection(now)
+        elif state is SpinState.MOVE:
+            if now >= self.deadline:
+                self._start_kill(now)
+        elif state is SpinState.PROBE_MOVE:
+            if self.probe_move_send_at is not None and now >= self.probe_move_send_at:
+                self._emit_probe_move(now)
+            elif self.probe_move_send_at is None and now >= self.deadline:
+                self._start_kill(now)
+        elif state is SpinState.KILL_MOVE:
+            if now >= self.deadline:
+                self._finish_recovery(now)
+        elif state in (SpinState.FROZEN, SpinState.FORWARD_PROGRESS):
+            # The executor normally drives these states at the spin cycle.
+            # If that cycle passed without a callback (lost kill_move race),
+            # escape back to detection rather than hang forever.
+            if self.deadline is not None and now > self.deadline + 1:
+                if self.latched_source is not None:
+                    self._unfreeze_own(self.latched_source)
+                self.is_deadlock = False
+                self.latched_source = None
+                self.framework.stats.count("freeze_timeouts")
+                self._reset_to_detection(now)
+
+    def _tick_detection(self, now: int) -> None:
+        vc = self._pointed_vc()
+        if vc is None or vc.packet is None or vc.packet.uid != self.pointed_uid:
+            self._point_at_next_active_vc(now)
+            return
+        if now < self.deadline:
+            return
+        packet = vc.packet
+        request = packet.current_request
+        if (
+            not vc.frozen
+            and vc.fully_arrived(now)
+            and request is not None
+            and not is_ejection_port(request)
+        ):
+            self._send_probe(now, vc.inport, request, packet.vnet)
+        # Counter resets with the same threshold and the pointer advances
+        # round-robin, so every stuck VC at this router is eventually
+        # probed.  (A pointer parked on one VC forever could starve the
+        # core cycle of a rho-shaped dependency chain: that VC's probe
+        # walks into a loop it is not part of and orbits without ever
+        # returning, while the VC that *is* on the loop never gets probed.)
+        self._point_at_next_active_vc(now)
+
+    # ------------------------------------------------------------------
+    # Pointer management
+    # ------------------------------------------------------------------
+    def _pointed_vc(self) -> Optional[VirtualChannel]:
+        if self.pointer is None:
+            return None
+        inport, index = self.pointer
+        vcs = self.router.inports.get(inport)
+        if vcs is None or index >= len(vcs):
+            return None
+        return vcs[index]
+
+    def _network_vcs(self):
+        for inport in sorted(self.router.inports):
+            for vc in self.router.inports[inport]:
+                yield vc
+
+    def _point_at_next_active_vc(self, now: int) -> None:
+        """Advance the pointer round-robin to the next occupied VC."""
+        vcs = list(self._network_vcs())
+        if not vcs:
+            self._go_off()
+            return
+        start = 0
+        if self.pointer is not None:
+            for i, vc in enumerate(vcs):
+                if (vc.inport, vc.index) == self.pointer:
+                    start = i + 1
+                    break
+        for offset in range(len(vcs)):
+            vc = vcs[(start + offset) % len(vcs)]
+            if vc.packet is not None:
+                self.pointer = (vc.inport, vc.index)
+                self.pointed_uid = vc.packet.uid
+                self.state = SpinState.DD
+                self.deadline = now + self.params.tdd
+                return
+        self._go_off()
+
+    def _go_off(self) -> None:
+        self.state = SpinState.OFF
+        self.pointer = None
+        self.pointed_uid = None
+        self.deadline = None
+
+    # ------------------------------------------------------------------
+    # Initiator actions
+    # ------------------------------------------------------------------
+    def _send_probe(self, now: int, inport: int, outport: int,
+                    vnet: int) -> None:
+        probe = ProbeMessage(sender=self.router.id, send_cycle=now,
+                             origin_inport=inport, origin_outport=outport,
+                             vnet=vnet)
+        self.framework.send_sm(self.router.id, outport, probe, now)
+        self.framework.on_probe_sent(self.router.id, now)
+
+    def _start_move(self, now: int, probe: ProbeMessage) -> None:
+        self.loop_path = probe.path
+        self.loop_delay = now - probe.send_cycle
+        self.state = SpinState.MOVE
+        self.deadline = now + self.loop_delay + self.params.sync_slack + 1
+        self.spin_cycle = now + 2 * self.loop_delay + self.params.sync_slack
+        move = MoveMessage(sender=self.router.id, send_cycle=now,
+                           path=self.loop_path, spin_cycle=self.spin_cycle,
+                           hop_index=1, vnet=self.probe_vnet)
+        self.framework.send_sm(self.router.id, self.probe_outport, move, now)
+        self.framework.stats.count("moves_sent")
+
+    def _emit_probe_move(self, now: int) -> None:
+        self.probe_move_send_at = None
+        self.spin_cycle = now + 2 * self.loop_delay + self.params.sync_slack
+        self.deadline = now + self.loop_delay + self.params.sync_slack + 1
+        probe_move = ProbeMoveMessage(
+            sender=self.router.id, send_cycle=now, path=self.loop_path,
+            spin_cycle=self.spin_cycle, hop_index=1, vnet=self.probe_vnet)
+        self.framework.send_sm(self.router.id, self.probe_outport,
+                               probe_move, now)
+        self.framework.stats.count("probe_moves_sent")
+
+    def _start_kill(self, now: int) -> None:
+        """The move/probe_move was dropped somewhere: cancel the spin."""
+        self.state = SpinState.KILL_MOVE
+        self.deadline = now + self.loop_delay + self.params.sync_slack + 1
+        kill = KillMoveMessage(sender=self.router.id, send_cycle=now,
+                               path=self.loop_path, hop_index=1,
+                               vnet=self.probe_vnet)
+        self.framework.send_sm(self.router.id, self.probe_outport, kill, now)
+        self.framework.stats.count("kill_moves_sent")
+
+    def _finish_recovery(self, now: int) -> None:
+        """Clear all initiator context and resume detection."""
+        if self.latched_source == self.router.id:
+            self.is_deadlock = False
+            self.latched_source = None
+            self._unfreeze_own(self.router.id)
+        self.loop_path = ()
+        self.spin_cycle = None
+        self.probe_move_send_at = None
+        self.probe_inport = None
+        self.probe_outport = None
+        self.pointer = None
+        self.pointed_uid = None
+        self.state = SpinState.DD
+        self._point_at_next_active_vc(now)
+
+    def _unfreeze_own(self, source: int) -> None:
+        for inport, vcs in self.router.all_inports():
+            for vc in vcs:
+                if vc.frozen and vc.freeze_source == source:
+                    vc.clear_freeze()
+
+    # ------------------------------------------------------------------
+    # SM reception
+    # ------------------------------------------------------------------
+    def on_sm(self, sm, inport: int, now: int) -> None:
+        if sm.kind == "probe":
+            self._on_probe(sm, inport, now)
+        elif sm.kind == "move":
+            self._on_move(sm, inport, now)
+        elif sm.kind == "probe_move":
+            self._on_probe_move(sm, inport, now)
+        elif sm.kind == "kill_move":
+            self._on_kill_move(sm, inport, now)
+
+    # --- probe ---------------------------------------------------------
+    def _on_probe(self, probe: ProbeMessage, inport: int, now: int) -> None:
+        if (
+            probe.sender == self.router.id
+            and inport == probe.origin_inport
+            and self.state is SpinState.DD
+        ):
+            self._accept_own_probe(probe, inport, now)
+            return
+        self._forward_probe(probe, inport, now)
+
+    def _accept_own_probe(self, probe: ProbeMessage, inport: int,
+                          now: int) -> None:
+        # The detection pointer may have rotated onward since this probe was
+        # sent; what matters is that the probed dependency still exists:
+        # some VC at the probe's origin input port still waits on its origin
+        # output port.  Latch the origin as the recovery context — the move
+        # must leave through the same port the probe did for the path to
+        # align hop-by-hop.
+        self.probe_inport = probe.origin_inport
+        self.probe_outport = probe.origin_outport
+        self.probe_vnet = probe.vnet
+        vc = self._freezable_vc(self.probe_inport, self.probe_outport,
+                                probe.vnet, now)
+        if vc is None:
+            # Stale: the situation changed while the probe was in flight.
+            self.framework.stats.count("probes_stale")
+            return
+        if self.is_deadlock and self.latched_source != self.router.id:
+            # Another recovery already owns this router.
+            self.framework.stats.count("probes_stale")
+            return
+        self.framework.stats.count("probes_returned")
+        self._start_move(now, probe)
+
+    def _forward_probe(self, probe: ProbeMessage, inport: int,
+                       now: int) -> None:
+        framework = self.framework
+        if self.params.strict_priority_drop:
+            mine = framework.priority.dynamic_priority(self.router.id, now)
+            theirs = framework.priority.dynamic_priority(probe.sender, now)
+            if mine > theirs:
+                framework.stats.count("probes_dropped_priority")
+                return
+        if len(probe.path) >= framework.max_probe_path:
+            framework.stats.count("probes_dropped_length")
+            return
+        if inport not in self.router.inports:
+            return
+        vcs = self.router.vnet_slice(inport, probe.vnet)
+        if not vcs:
+            return
+        requests = []
+        for vc in vcs:
+            packet = vc.packet
+            if packet is None:
+                # Not all VCs at the probe's input port are active: drop.
+                framework.stats.count("probes_dropped_idle_vc")
+                return
+            request = packet.current_request
+            if request is None or is_ejection_port(request):
+                continue
+            if request not in requests:
+                requests.append(request)
+        if not requests:
+            # Every packet here is waiting for ejection (or undecided).
+            framework.stats.count("probes_dropped_ejecting")
+            return
+        for outport in requests:
+            framework.send_sm(self.router.id, outport,
+                              probe.forked(outport), now)
+
+    # --- move ----------------------------------------------------------
+    def _on_move(self, move: MoveMessage, inport: int, now: int) -> None:
+        if move.sender == self.router.id and not move.path:
+            self._on_own_move_returned(move, inport, now)
+            return
+        if self.is_deadlock and self.latched_source != move.sender:
+            self.framework.stats.count("moves_dropped_busy")
+            return
+        if self._yields_to_rival_initiator(move.sender, now):
+            self.framework.stats.count("moves_dropped_priority")
+            return
+        if not move.path:
+            self.framework.stats.count("moves_dropped_malformed")
+            return
+        vc = self._freezable_vc(inport, move.first_port, move.vnet, now)
+        if vc is None:
+            self.framework.stats.count("moves_dropped_no_dependency")
+            return
+        self._freeze(vc, move, now)
+        self.framework.send_sm(self.router.id, move.first_port,
+                               move.advanced(), now)
+
+    def _on_own_move_returned(self, move: MoveMessage, inport: int,
+                              now: int) -> None:
+        if self.state is not SpinState.MOVE or move.spin_cycle != self.spin_cycle:
+            self.framework.stats.count("moves_stale")
+            return
+        if self.is_deadlock and self.latched_source != self.router.id:
+            self._start_kill(now)
+            return
+        vc = self._freezable_vc(self.probe_inport, self.probe_outport,
+                                self.probe_vnet, now)
+        if vc is None:
+            self._start_kill(now)
+            return
+        self.is_deadlock = True
+        self.latched_source = self.router.id
+        vc.freeze(self.probe_outport, self.router.id, self.spin_cycle,
+                  path_index=0)
+        self.framework.executor.register(vc)
+        self.state = SpinState.FORWARD_PROGRESS
+        self.deadline = self.spin_cycle
+        self.framework.stats.count("moves_returned")
+
+    def _yields_to_rival_initiator(self, sender: int, now: int) -> bool:
+        """Symmetry breaker between concurrent recovery initiators.
+
+        When multiple routers of the *same* deadlocked ring initiate
+        recovery in the same epoch (possible because their tDD counters are
+        independent), every move would otherwise kill every other through
+        the source-id latch, livelocking the recovery.  The rotating
+        priority of Sec. IV-C1 resolves the race: an active initiator
+        processes a rival's move only if that rival currently outranks it —
+        so exactly one recovery (the highest-priority initiator's) survives
+        each round.
+        """
+        if self.state not in (SpinState.MOVE, SpinState.PROBE_MOVE,
+                              SpinState.KILL_MOVE):
+            return False
+        priority = self.framework.priority
+        return (priority.dynamic_priority(sender, now)
+                < priority.dynamic_priority(self.router.id, now))
+
+    def _freezable_vc(self, inport: Optional[int], outport: int,
+                      vnet: int, now: int) -> Optional[VirtualChannel]:
+        """A VC of ``vnet`` at ``inport`` whose packet waits on ``outport``."""
+        if inport is None:
+            return None
+        if inport not in self.router.inports:
+            return None
+        vcs = self.router.vnet_slice(inport, vnet)
+        if not vcs:
+            return None
+        for vc in vcs:
+            packet = vc.packet
+            if (
+                packet is not None
+                and not vc.frozen
+                and vc.fully_arrived(now)
+                and packet.current_request == outport
+            ):
+                return vc
+        return None
+
+    def _freeze(self, vc: VirtualChannel, move, now: int) -> None:
+        vc.freeze(move.first_port, move.sender, move.spin_cycle,
+                  path_index=move.hop_index)
+        self.is_deadlock = True
+        self.latched_source = move.sender
+        if self.state in (SpinState.OFF, SpinState.DD):
+            self.state = SpinState.FROZEN
+            self.deadline = move.spin_cycle
+        self.framework.executor.register(vc)
+
+    # --- probe_move ------------------------------------------------------
+    def _on_probe_move(self, probe_move: ProbeMoveMessage, inport: int,
+                       now: int) -> None:
+        if probe_move.sender == self.router.id and not probe_move.path:
+            self._on_own_probe_move_returned(probe_move, now)
+            return
+        if self.is_deadlock and self.latched_source != probe_move.sender:
+            self.framework.stats.count("probe_moves_dropped_busy")
+            return
+        if self._yields_to_rival_initiator(probe_move.sender, now):
+            self.framework.stats.count("probe_moves_dropped_priority")
+            return
+        if not probe_move.path:
+            self.framework.stats.count("probe_moves_dropped_malformed")
+            return
+        vc = self._freezable_vc(inport, probe_move.first_port,
+                                probe_move.vnet, now)
+        if vc is None:
+            # The dependency chain is gone: the previous spin resolved it.
+            self.framework.stats.count("probe_moves_dropped_no_dependency")
+            return
+        self._freeze(vc, probe_move, now)
+        self.framework.send_sm(self.router.id, probe_move.first_port,
+                               probe_move.advanced(), now)
+
+    def _on_own_probe_move_returned(self, probe_move: ProbeMoveMessage,
+                                    now: int) -> None:
+        if (
+            self.state is not SpinState.PROBE_MOVE
+            or probe_move.spin_cycle != self.spin_cycle
+        ):
+            self.framework.stats.count("probe_moves_stale")
+            return
+        if self.is_deadlock and self.latched_source != self.router.id:
+            self._start_kill(now)
+            return
+        vc = self._freezable_vc(self.probe_inport, self.probe_outport,
+                                self.probe_vnet, now)
+        if vc is None:
+            self._start_kill(now)
+            return
+        self.is_deadlock = True
+        self.latched_source = self.router.id
+        vc.freeze(self.probe_outport, self.router.id, self.spin_cycle,
+                  path_index=0)
+        self.framework.executor.register(vc)
+        self.state = SpinState.FORWARD_PROGRESS
+        self.deadline = self.spin_cycle
+        self.framework.stats.count("probe_moves_returned")
+
+    # --- kill_move -------------------------------------------------------
+    def _on_kill_move(self, kill: KillMoveMessage, inport: int,
+                      now: int) -> None:
+        if kill.sender == self.router.id and not kill.path:
+            if self.state is SpinState.KILL_MOVE:
+                self._finish_recovery(now)
+            return
+        if self.is_deadlock and self.latched_source != kill.sender:
+            self.framework.stats.count("kill_moves_dropped_busy")
+            return
+        if not kill.path:
+            self.framework.stats.count("kill_moves_dropped_malformed")
+            return
+        self._unfreeze_own(kill.sender)
+        if self.latched_source == kill.sender:
+            self.is_deadlock = False
+            self.latched_source = None
+            if self.state is SpinState.FROZEN:
+                self.state = SpinState.DD
+                self._point_at_next_active_vc(now)
+        self.framework.send_sm(self.router.id, kill.first_port,
+                               kill.advanced(), now)
+
+    # ------------------------------------------------------------------
+    # Executor callbacks
+    # ------------------------------------------------------------------
+    def on_spin_complete(self, now: int, was_initiator: bool) -> None:
+        """A spin this router participated in just happened."""
+        self.is_deadlock = False
+        self.latched_source = None
+        if was_initiator and self.params.probe_move_enabled and self.loop_path:
+            self.state = SpinState.PROBE_MOVE
+            # "After one spin is complete": wait for the rotated packets'
+            # tails to land and their new requests to be computed.
+            settle = (self.framework.network.config.max_packet_length
+                      + self.framework.network.config.router_latency + 1)
+            self.probe_move_send_at = now + settle
+            self.deadline = self.probe_move_send_at + self.loop_delay + 2
+        else:
+            self._reset_to_detection(now)
+
+    def on_spin_aborted(self, now: int) -> None:
+        """The executor refused the spin (broken chain / unsafe push)."""
+        self.is_deadlock = False
+        self.latched_source = None
+        self._reset_to_detection(now)
+
+    def _reset_to_detection(self, now: int) -> None:
+        self.loop_path = ()
+        self.spin_cycle = None
+        self.probe_move_send_at = None
+        self.probe_inport = None
+        self.probe_outport = None
+        self.pointer = None
+        self.pointed_uid = None
+        self.state = SpinState.DD
+        self._point_at_next_active_vc(now)

@@ -1,0 +1,174 @@
+"""The spin: synchronized one-hop rotation of a frozen dependency ring.
+
+At the agreed spin cycle every frozen VC of a recovery pushes its packet out
+of the requested output port *simultaneously*; each packet lands in the VC
+that its downstream neighbour vacates in the same cycle, so no free buffer
+is needed anywhere — the central insight of the paper.
+
+The executor performs the rotation atomically once per (initiator,
+spin-cycle) group, after validating that the frozen entries still form the
+closed chain the move SM arranged (DESIGN.md §3 "spin safety guard").  An
+invalid group — a hole left by a dropped kill_move, a busy output link, a
+duplicated link — is aborted: every entry unfreezes and its router returns
+to detection.  This guarantees the datapath no-loss/no-overwrite invariant
+under arbitrary SM races; the paper's own kill_move protocol makes aborts
+rare, and the property tests exercise both paths.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.network.vc import VirtualChannel
+
+
+class SpinExecutor:
+    """Registry and performer of pending synchronized spins."""
+
+    def __init__(self, framework) -> None:
+        self.framework = framework
+        #: spin_cycle -> initiator -> frozen VCs registered for that spin.
+        self._pending: Dict[int, Dict[int, List[VirtualChannel]]] = (
+            defaultdict(lambda: defaultdict(list)))
+
+    def register(self, vc: VirtualChannel) -> None:
+        """Enroll a freshly frozen VC for its spin cycle."""
+        self._pending[vc.freeze_spin_cycle][vc.freeze_source].append(vc)
+
+    def pending_spins(self) -> int:
+        """Number of (cycle, initiator) groups awaiting execution."""
+        return sum(len(groups) for groups in self._pending.values())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, now: int) -> int:
+        """Run every spin scheduled for this cycle; returns spins performed."""
+        groups = self._pending.pop(now, None)
+        if not groups:
+            return 0
+        performed = 0
+        links_used = set()
+        for source in sorted(groups):
+            entries = [
+                vc for vc in groups[source]
+                if vc.frozen and vc.freeze_source == source
+                and vc.freeze_spin_cycle == now and vc.packet is not None
+            ]
+            if self._spin_group(source, entries, links_used, now):
+                performed += 1
+        return performed
+
+    def _spin_group(self, source: int, entries: List[VirtualChannel],
+                    links_used: set, now: int) -> bool:
+        network = self.framework.network
+        stats = self.framework.stats
+        if len(entries) < 2:
+            self._abort(entries, now, "undersized")
+            return False
+        entries.sort(key=lambda vc: vc.freeze_path_index)
+        indices = [vc.freeze_path_index for vc in entries]
+        if indices != list(range(len(entries))):
+            self._abort(entries, now, "broken_chain")
+            return False
+        # Verify the ring is closed and every output link is usable.
+        count = len(entries)
+        for i, vc in enumerate(entries):
+            router = network.routers[vc.router]
+            outport = vc.freeze_outport
+            neighbor_entry = router.out_neighbors.get(outport)
+            if neighbor_entry is None:
+                self._abort(entries, now, "bad_port")
+                return False
+            neighbor, dst_inport = neighbor_entry
+            target = entries[(i + 1) % count]
+            if neighbor.id != target.router or dst_inport != target.inport:
+                self._abort(entries, now, "broken_chain")
+                return False
+            link_key = (vc.router, outport)
+            if link_key in links_used or not router.out_links[outport].is_free(now):
+                self._abort(entries, now, "link_busy")
+                return False
+        for vc in entries:
+            links_used.add((vc.router, vc.freeze_outport))
+
+        if self.framework.collect_ground_truth:
+            self._classify_ground_truth(entries, now)
+
+        # Capture per-router initiator flags before the rotation wipes the
+        # freeze metadata (release() clears it as each packet departs).
+        initiators = {}
+        for vc in entries:
+            was = initiators.get(vc.router, False)
+            initiators[vc.router] = was or vc.freeze_path_index == 0
+
+        self._rotate(entries, now)
+        stats.count("spins")
+        stats.count("spin_hops", len(entries))
+        for router_id, was_initiator in initiators.items():
+            self.framework.controllers[router_id].on_spin_complete(
+                now, was_initiator)
+        return True
+
+    def _rotate(self, entries: List[VirtualChannel], now: int) -> None:
+        network = self.framework.network
+        routing = network.routing
+        config = network.config
+        count = len(entries)
+        # Capture per-entry context before release() clears the freeze state.
+        packets = [vc.packet for vc in entries]
+        outports = [vc.freeze_outport for vc in entries]
+        for vc, outport in zip(entries, outports):
+            router = network.routers[vc.router]
+            packet = vc.release(now)
+            router.out_links[outport].occupy(now, packet.length)
+            router.port_busy[vc.inport] = now + packet.length - 1
+            network.note_vc_released(router)
+        for i, vc in enumerate(entries):
+            router = network.routers[vc.router]
+            outport = outports[i]
+            packet = packets[i]
+            target = entries[(i + 1) % count]
+            link = router.out_links[outport]
+            was_min = network.topology.min_hops(vc.router, packet.routing_target)
+            # The slot frees exactly as its resident drains: the simultaneity
+            # of the spin is what makes this safe (paper Sec. III).
+            target.free_at = now
+            target.reserve(packet, now, link.latency, config.router_latency)
+            packet.hops += 1
+            packet.spins += 1
+            now_min = network.topology.min_hops(target.router,
+                                                packet.routing_target)
+            if now_min >= was_min:
+                packet.misroutes += 1
+            packet.current_request = None
+            routing.on_hop(packet, router, outport)
+            network.stats.count("flit_hops", packet.length)
+            network.note_vc_reserved(network.routers[target.router])
+        network.note_movement()
+
+    def _classify_ground_truth(self, entries: List[VirtualChannel],
+                               now: int) -> None:
+        """Label this spin as resolving a true deadlock or a false positive."""
+        from repro.deadlock.waitgraph import find_deadlocked_packets
+
+        deadlocked = find_deadlocked_packets(self.framework.network, now)
+        uids = {vc.packet.uid for vc in entries if vc.packet is not None}
+        if uids & deadlocked:
+            self.framework.stats.count("spins_true_deadlock")
+        else:
+            self.framework.stats.count("spins_false_positive")
+
+    def _abort(self, entries: List[VirtualChannel], now: int,
+               reason: str) -> None:
+        self.framework.stats.count("spins_aborted")
+        self.framework.stats.count(f"spins_aborted_{reason}")
+        routers = []
+        for vc in entries:
+            vc.clear_freeze()
+            if vc.router not in routers:
+                routers.append(vc.router)
+        for router_id in routers:
+            self.framework.controllers[router_id].on_spin_aborted(now)
+

@@ -1,0 +1,39 @@
+"""SPIN counter-FSM states (paper Fig. 4a).
+
+Every router carries one counter with a seven-state FSM.  The upper half of
+the paper's figure (MOVE, FORWARD_PROGRESS, PROBE_MOVE, KILL_MOVE) applies
+to the recovery-*initiating* router; the lower half (DD, FROZEN) to the
+other routers of a deadlocked chain; OFF is shared.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SpinState(Enum):
+    """States of the per-router SPIN counter FSM."""
+
+    #: No occupied VCs to watch.
+    OFF = "off"
+    #: Deadlock detection: counting down ``tDD`` on a pointed VC.
+    DD = "dd"
+    #: (initiator) Probe returned; move sent; awaiting its return.
+    MOVE = "move"
+    #: (non-initiator) A VC is frozen; counting to the spin cycle.
+    FROZEN = "frozen"
+    #: (initiator) Move returned; counting to the spin cycle.
+    FORWARD_PROGRESS = "forward_progress"
+    #: (initiator) Spin done; probe_move sent (or scheduled); awaiting return.
+    PROBE_MOVE = "probe_move"
+    #: (initiator) Recovery failed mid-way; kill_move sent; awaiting return.
+    KILL_MOVE = "kill_move"
+
+
+#: States in which this router is the active recovery initiator.
+INITIATOR_STATES = frozenset({
+    SpinState.MOVE,
+    SpinState.FORWARD_PROGRESS,
+    SpinState.PROBE_MOVE,
+    SpinState.KILL_MOVE,
+})

@@ -1,0 +1,124 @@
+"""SPIN special messages (SMs).
+
+SMs travel on the regular network links, bufferlessly, with strict priority
+over flits and among themselves (paper Sec. IV-C1):
+
+    probe_move  >  move = kill_move  >  probe  >  flit
+
+A *probe* accumulates the outport taken at every router it traverses; the
+loop-shaped path it returns with is the deadlocked dependency chain.  The
+*move*, *probe_move* and *kill_move* messages replay that path, stripping
+the leading port id at each hop, so every router sees its own outport first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+#: Class priorities (higher wins output-link contention).
+PROBE_PRIORITY = 1
+MOVE_PRIORITY = 2
+KILL_MOVE_PRIORITY = 2
+PROBE_MOVE_PRIORITY = 3
+
+
+@dataclass(frozen=True)
+class SpecialMessage:
+    """Common SM fields.
+
+    Attributes:
+        sender: Router id of the recovery initiator.
+        send_cycle: Cycle the initiator emitted the SM.
+        path: Outport ids of the routers the SM has yet to visit (for a
+            probe: the ports visited so far instead).
+        vnet: Virtual network (message class) the recovery concerns.
+            Routing deadlocks form within one message class (packets can
+            only wait on VCs of their own vnet), so all SM processing —
+            probe forking, dependency checks, freezing — is scoped to it;
+            idle buffers of *other* vnets at a port say nothing about the
+            probed chain.
+    """
+
+    sender: int
+    send_cycle: int
+    path: Tuple[int, ...] = ()
+    vnet: int = 0
+
+    kind = "sm"
+    class_priority = 0
+
+    def with_path(self, path: Tuple[int, ...]) -> "SpecialMessage":
+        """Copy of this SM with a different path."""
+        return replace(self, path=path)
+
+
+@dataclass(frozen=True)
+class ProbeMessage(SpecialMessage):
+    """Traces (and confirms) a deadlocked dependency chain.
+
+    Attributes:
+        origin_inport: Input port of the VC the initiator probed.
+        origin_outport: Output port the probe was first sent through.  The
+            recorded path aligns hop-by-hop with a walk starting through
+            this port, so the move must use it; carrying it in the probe
+            keeps acceptance correct even when the initiator has since
+            re-probed a different dependency (tDD shorter than the loop).
+    """
+
+    kind = "probe"
+    class_priority = PROBE_PRIORITY
+
+    origin_inport: int = -1
+    origin_outport: int = -1
+
+    def forked(self, outport: int) -> "ProbeMessage":
+        """Copy forked out of ``outport``, with the port appended."""
+        return replace(self, path=self.path + (outport,))
+
+
+@dataclass(frozen=True)
+class PathFollowingMessage(SpecialMessage):
+    """Base for SMs that replay a latched loop path (move family).
+
+    Attributes:
+        spin_cycle: Absolute cycle of the synchronized spin this SM arranges
+            (unused by kill_move).
+        hop_index: Position along the loop, 0 at the initiator.
+    """
+
+    spin_cycle: int = -1
+    hop_index: int = 1
+
+    def advanced(self) -> "PathFollowingMessage":
+        """Copy with the leading port stripped and the hop index bumped."""
+        return replace(self, path=self.path[1:], hop_index=self.hop_index + 1)
+
+    @property
+    def first_port(self) -> int:
+        """The receiving router's outport on the loop."""
+        return self.path[0]
+
+
+@dataclass(frozen=True)
+class MoveMessage(PathFollowingMessage):
+    """Conveys the spin cycle; freezes one VC per loop router."""
+
+    kind = "move"
+    class_priority = MOVE_PRIORITY
+
+
+@dataclass(frozen=True)
+class ProbeMoveMessage(PathFollowingMessage):
+    """Joint probe+move for repeat spins (the Sec. IV-B4 optimization)."""
+
+    kind = "probe_move"
+    class_priority = PROBE_MOVE_PRIORITY
+
+
+@dataclass(frozen=True)
+class KillMoveMessage(PathFollowingMessage):
+    """Cancels a pending spin; unfreezes VCs along the loop."""
+
+    kind = "kill_move"
+    class_priority = KILL_MOVE_PRIORITY

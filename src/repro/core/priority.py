@@ -1,0 +1,36 @@
+"""The principle of rotating priority (paper Sec. IV-C1).
+
+For a network with N routers, router priorities start as their ids and
+rotate round-robin every *epoch* (4 x tDD cycles by default), so every
+router eventually holds the highest priority long enough — at least
+3 x tDD contiguous cycles of its epoch — to detect a deadlock, send a
+probe and receive it back without losing a contention anywhere.
+"""
+
+from __future__ import annotations
+
+
+class RotatingPriority:
+    """Computes dynamic router priorities as a function of the cycle."""
+
+    def __init__(self, num_routers: int, epoch_length: int) -> None:
+        self.num_routers = num_routers
+        self.epoch_length = epoch_length
+
+    def dynamic_priority(self, router: int, cycle: int) -> int:
+        """Priority of a router at a cycle; larger values win contention."""
+        rotation = cycle // self.epoch_length
+        return (router + rotation) % self.num_routers
+
+    def highest_priority_router(self, cycle: int) -> int:
+        """The router currently holding the maximum priority."""
+        rotation = cycle // self.epoch_length
+        return (self.num_routers - 1 - rotation) % self.num_routers
+
+    def cycles_until_highest(self, router: int, cycle: int) -> int:
+        """Cycles until ``router`` next starts a highest-priority epoch."""
+        epochs_away = (self.highest_priority_router(cycle) - router) % self.num_routers
+        if epochs_away == 0:
+            return 0
+        next_epoch_start = (cycle // self.epoch_length + epochs_away) * self.epoch_length
+        return next_epoch_start - cycle

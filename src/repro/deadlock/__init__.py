@@ -1,0 +1,34 @@
+"""Deadlock analysis and baseline recovery schemes.
+
+* :mod:`repro.deadlock.waitgraph` — ground-truth deadlock detection over the
+  live simulator state (an AND-OR wait-graph fixpoint).  Used to validate
+  SPIN, to classify false positives (Fig. 9), and to find the minimum
+  deadlocking injection rates (Fig. 3).
+* :mod:`repro.deadlock.cdg` — channel dependency graph construction and
+  acyclicity checks (Dally's sufficient condition).
+* :mod:`repro.deadlock.static_bubble` — the Static Bubble-style recovery
+  baseline (one reserved VC drained by dimension-order routing).
+"""
+
+from repro.deadlock.waitgraph import (
+    blocked_packets,
+    find_deadlocked_packets,
+    has_deadlock,
+)
+from repro.deadlock.bubble import BubbleFlowControlRouting
+from repro.deadlock.cdg import channel_dependency_graph, is_acyclic
+from repro.deadlock.static_bubble import (
+    StaticBubbleControlPlane,
+    StaticBubbleRouting,
+)
+
+__all__ = [
+    "blocked_packets",
+    "find_deadlocked_packets",
+    "has_deadlock",
+    "channel_dependency_graph",
+    "is_acyclic",
+    "StaticBubbleControlPlane",
+    "StaticBubbleRouting",
+    "BubbleFlowControlRouting",
+]

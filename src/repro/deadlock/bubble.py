@@ -1,0 +1,118 @@
+"""Localized Bubble Flow Control (BFC) on a torus — the Flow Control row of
+Table I (Carrion et al., HiPC 1997; Puente et al.'s adaptive bubble router).
+
+Dimension-order routing on a torus has cyclic channel dependencies inside
+each unidirectional ring (wraparound), so Dally's condition fails.  BFC
+restores deadlock freedom with an injection-time restriction instead of
+extra VCs: a packet may *enter* a ring (from the NIC, or when turning from
+the X dimension into the Y dimension) only if the ring retains at least one
+free packet buffer after the entry.  Movement *within* a ring needs only
+the normal free target buffer.  Invariant: every unidirectional ring always
+holds >= 1 bubble, so some packet in any full ring can always advance.
+
+This is the paper's "Flow Control" theory exemplar: no VCs needed for
+deadlock freedom, at the price of injection restrictions and idle bubble
+capacity (Sec. II-C discusses why such schemes lost to VC-based designs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.packet import Packet
+from repro.network.router import is_injection_port
+from repro.routing.dor import DimensionOrderRouting
+from repro.topology.mesh import EAST, NORTH, OPPOSITE, SOUTH, WEST
+from repro.topology.torus import TorusTopology
+
+#: Ring key: ("x"|"y", row-or-column index, direction port).
+RingKey = Tuple[str, int, int]
+
+
+def ring_of_hop(topology: TorusTopology, router: int, outport: int) -> RingKey:
+    """The unidirectional ring a hop through ``outport`` travels in."""
+    x, y = topology.coordinates(router)
+    if outport in (EAST, WEST):
+        return ("x", y, outport)
+    return ("y", x, outport)
+
+
+class BubbleFlowControlRouting(DimensionOrderRouting):
+    """Torus XY routing with localized bubble flow control."""
+
+    name = "Bubble-DOR"
+    theory = "FlowCtrl"
+    minimal = True
+    max_misroutes = 0
+
+    def _setup(self) -> None:
+        if not isinstance(self.topology, TorusTopology):
+            raise ConfigurationError("bubble flow control targets a torus")
+        self._ring_vcs: Dict[RingKey, List] = {}
+        self._build_ring_index()
+
+    def _build_ring_index(self) -> None:
+        """VCs belonging to each unidirectional ring.
+
+        A packet moving through port ``d`` lands at the downstream router's
+        ``OPPOSITE[d]`` input port; those input VCs are the ring's buffers.
+        """
+        topology: TorusTopology = self.topology
+        for router in self.network.routers:
+            for outport in (EAST, WEST, NORTH, SOUTH):
+                key = ring_of_hop(topology, router.id, outport)
+                neighbor, dst_port = router.out_neighbors[outport]
+                vcs = neighbor.vcs_at(dst_port)
+                self._ring_vcs.setdefault(key, []).extend(vcs)
+
+    def free_ring_buffers(self, key: RingKey, now: int) -> int:
+        """Idle packet buffers currently in a ring."""
+        return sum(1 for vc in self._ring_vcs[key] if vc.is_idle(now))
+
+    def _entering_ring(self, packet: Packet, inport: int,
+                       outport: int) -> bool:
+        """Whether this hop enters a ring rather than continuing in it."""
+        if is_injection_port(inport):
+            return True
+        # Continuing straight in the same ring: the arrival port is the
+        # opposite of the departure port (E in -> E out means came from W).
+        return OPPOSITE[inport] != outport
+
+    def decide(self, router, inport: int, packet: Packet,
+               now: int) -> Optional[int]:
+        packet.route_state["bfc_inport"] = inport
+        return super().decide(router, inport, packet, now)
+
+    def pick_downstream_vc(self, router, packet: Packet, outport: int,
+                           now: int):
+        vc = super().pick_downstream_vc(router, packet, outport, now)
+        if vc is None:
+            return None
+        inport = packet.route_state.get("bfc_inport")
+        if inport is not None and self._entering_ring(packet, inport, outport):
+            key = ring_of_hop(self.topology, router.id, outport)
+            # Entry must leave a bubble behind: the target buffer plus at
+            # least one more free buffer in the ring.
+            if self.free_ring_buffers(key, now) < 2:
+                return None
+        return vc
+
+    def wait_targets(self, router, packet: Packet, now: int):
+        """For the oracle: a bubble-blocked packet waits on the whole ring.
+
+        It can move once *any* ring buffer beyond its target frees up, so
+        its effective wait set is every buffer of the ring it wants to
+        enter.
+        """
+        targets = super().wait_targets(router, packet, now)
+        expanded = []
+        inport = packet.route_state.get("bfc_inport")
+        for outport, vcs in targets:
+            if inport is not None and self._entering_ring(packet, inport,
+                                                          outport):
+                key = ring_of_hop(self.topology, router.id, outport)
+                expanded.append((outport, list(self._ring_vcs[key])))
+            else:
+                expanded.append((outport, vcs))
+        return expanded

@@ -1,0 +1,100 @@
+"""Ground-truth deadlock detection on live simulator state.
+
+A blocked packet waits on a *set* of VCs (fully adaptive routing can use any
+of several ports/VCs), so the dependency structure is an AND-OR graph, not a
+plain cycle: a packet is truly deadlocked iff **every** VC it could move
+into is permanently held.  The classic fixpoint computes this exactly:
+
+1. every blocked packet whose wait set contains a free (or draining, or
+   still-receiving) VC can *escape*;
+2. a blocked packet escapes if any VC in its wait set is held by an escaping
+   packet;
+3. iterate to fixpoint; the non-escaping blocked packets are deadlocked.
+
+This module is an *oracle* for validation and measurement — the simulated
+hardware never uses it (SPIN's whole point is detecting deadlock without a
+global view).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+VcKey = Tuple[int, int, int]  # (router, inport, vc index)
+
+
+def _vc_key(vc) -> VcKey:
+    return (vc.router, vc.inport, vc.index)
+
+
+def blocked_packets(network, now: int) -> List[Tuple[VcKey, object, list]]:
+    """All resident packets with a non-empty wait set.
+
+    Returns:
+        Triples ``(vc_key, packet, wait_target_vcs)``.  Packets that are
+        still arriving (tail in flight) or waiting only for ejection are
+        excluded — both make progress without any VC freeing up.
+    """
+    blocked = []
+    routing = network.routing
+    for router, _inport, vc in network.occupied_vcs():
+        if not vc.fully_arrived(now):
+            continue
+        targets = routing.wait_targets(router, vc.packet, now)
+        if not targets:
+            continue  # at destination: ejection is stall-free
+        target_vcs = [t for _, vcs in targets for t in vcs]
+        blocked.append((_vc_key(vc), vc.packet, target_vcs))
+    return blocked
+
+
+def find_deadlocked_packets(network, now: int) -> Set[int]:
+    """Uids of packets that can never move again without intervention."""
+    blocked = blocked_packets(network, now)
+    if not blocked:
+        return set()
+    holder: Dict[VcKey, int] = {}
+    wait_sets: Dict[VcKey, List[VcKey]] = {}
+    uid_of: Dict[VcKey, int] = {}
+    for key, packet, targets in blocked:
+        holder[key] = packet.uid
+        uid_of[key] = packet.uid
+        wait_sets[key] = [_vc_key(t) for t in targets]
+
+    # Seed: packets with any target that is not held by a *blocked* packet
+    # (idle, draining, or occupied by a moving/ejecting packet) can escape.
+    escaping: Set[VcKey] = set()
+    waiters_on: Dict[VcKey, List[VcKey]] = defaultdict(list)
+    frontier: List[VcKey] = []
+    for key, targets in wait_sets.items():
+        if any(t not in holder for t in targets):
+            escaping.add(key)
+            frontier.append(key)
+        else:
+            for t in targets:
+                waiters_on[t].append(key)
+
+    # Propagate: freeing an escaping packet's VC may free its waiters.
+    while frontier:
+        freed = frontier.pop()
+        for waiter in waiters_on.get(freed, ()):
+            if waiter not in escaping:
+                escaping.add(waiter)
+                frontier.append(waiter)
+    return {uid_of[key] for key in wait_sets if key not in escaping}
+
+
+def has_deadlock(network, now: int) -> bool:
+    """Whether any packet in the network is truly deadlocked right now."""
+    return bool(find_deadlocked_packets(network, now))
+
+
+def deadlocked_vc_chain(network, now: int) -> List[VcKey]:
+    """VC keys of all deadlocked packets (diagnostics and tests)."""
+    uids = find_deadlocked_packets(network, now)
+    chain = []
+    for router, inport, vc in network.occupied_vcs():
+        if vc.packet is not None and vc.packet.uid in uids:
+            chain.append((router.id, inport, vc.index))
+    return chain

@@ -1,0 +1,19 @@
+"""Deflection (hot-potato) routing — the fourth framework of Table I.
+
+A BLESS-style bufferless network: every flit arriving at a router is
+assigned to *some* output port every cycle; on contention the oldest flit
+(rank by injection time, then id) gets a productive port and the rest are
+deflected.  Deadlock freedom is inherent (nothing ever waits for a buffer);
+the costs the paper's Table I lists — injection restrictions (a node cannot
+inject unless an output is free), possible livelock (addressed here by
+oldest-first priority, which guarantees the oldest flit always makes
+progress), and misrouting energy — are all observable in this model.
+
+Implemented as a self-contained single-flit simulator sharing the topology
+and pattern substrates, since a bufferless datapath has little in common
+with the VC-based router model.
+"""
+
+from repro.deflection.network import DeflectionNetwork
+
+__all__ = ["DeflectionNetwork"]

@@ -1,0 +1,205 @@
+"""Single-flit deflection-routed network (BLESS-like).
+
+Model, per cycle:
+
+1. flits in flight land at their next router;
+2. flits at their destination eject (unbounded NIC acceptance);
+3. remaining flits are matched to output ports *oldest first*: each flit
+   prefers a productive port (reducing hop distance); if all productive
+   ports are taken it is deflected to any free port;
+4. a node may inject only if its router still has a free output port after
+   the matching — the injection restriction of Table I.
+
+Oldest-first arbitration makes the network livelock-free: the globally
+oldest flit always receives a productive port, so it reaches its
+destination in bounded time, after which the next-oldest does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import DeterministicRng
+from repro.stats.collectors import NetworkStats
+from repro.topology.base import Topology
+
+
+class _Flit:
+    __slots__ = ("uid", "src", "dst_router", "dst_node", "create_cycle",
+                 "inject_cycle", "eject_cycle", "hops", "deflections",
+                 "measured", "length")
+    _next_uid = 0
+
+    def __init__(self, src: int, dst_router: int, dst_node: int,
+                 create_cycle: int) -> None:
+        self.uid = _Flit._next_uid
+        _Flit._next_uid += 1
+        self.src = src
+        self.dst_router = dst_router
+        self.dst_node = dst_node
+        self.create_cycle = create_cycle
+        self.inject_cycle: Optional[int] = None
+        self.eject_cycle: Optional[int] = None
+        self.hops = 0
+        self.deflections = 0
+        self.measured = False
+        self.length = 1
+
+    def age_rank(self) -> Tuple[int, int]:
+        """Sort key: older first, then lower uid (total order)."""
+        return (self.create_cycle, self.uid)
+
+    def latency(self) -> int:
+        return self.eject_cycle - self.create_cycle
+
+    def network_latency(self) -> int:
+        return self.eject_cycle - (self.inject_cycle or self.create_cycle)
+
+
+class DeflectionNetwork:
+    """Bufferless deflection-routed network over any topology.
+
+    Single-flit packets only (deflection routing needs per-flit routing;
+    the reassembly problem for multi-flit packets is one of the scheme's
+    documented drawbacks).
+
+    Args:
+        topology: Any topology; each flit's productive ports are derived
+            from the hop-distance metric.
+        seed: RNG seed for deflection tie-breaks.
+    """
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        topology.validate()
+        self.topology = topology
+        self.rng = DeterministicRng(seed).fork("deflection")
+        self.stats = NetworkStats()
+        self.now = 0
+        #: Flits resident at each router at the start of the cycle.
+        self._at_router: List[List[_Flit]] = [
+            [] for _ in range(topology.num_routers)]
+        #: Flits in flight: arrival cycle -> [(router, flit)].
+        self._in_flight: Dict[int, List[Tuple[int, _Flit]]] = {}
+        #: Per-node injection queues.
+        self._queues: List[List[_Flit]] = [
+            [] for _ in range(topology.num_nodes)]
+        self.total_deflections = 0
+
+    # ------------------------------------------------------------------
+    # Workload interface
+    # ------------------------------------------------------------------
+    def offer(self, src_node: int, dst_node: int, cycle: int) -> None:
+        """Queue one single-flit packet for injection."""
+        if src_node == dst_node:
+            raise ConfigurationError("self-addressed flit")
+        flit = _Flit(src_node, self.topology.router_of_node(dst_node),
+                     dst_node, cycle)
+        self.stats.record_creation(flit, cycle)
+        self._queues[src_node].append(flit)
+
+    # ------------------------------------------------------------------
+    # Cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Simulate one cycle."""
+        now = self.now
+        # 1. Landings.
+        for router_id, flit in self._in_flight.pop(now, ()):
+            self._at_router[router_id].append(flit)
+        # 2-4. Per-router ejection, matching, injection.
+        for router_id in range(self.topology.num_routers):
+            self._route_router(router_id, now)
+        self.now = now + 1
+
+    def run(self, cycles: int) -> None:
+        """Simulate the given number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def _route_router(self, router_id: int, now: int) -> None:
+        resident = self._at_router[router_id]
+        if resident:
+            # Ejection: stall-free, all flits at their destination leave.
+            staying = []
+            for flit in resident:
+                if flit.dst_router == router_id:
+                    self._deliver(flit, now)
+                else:
+                    staying.append(flit)
+            resident = staying
+        ports = self.topology.neighbors(router_id)
+        free_ports = set(ports)
+        # Oldest flit picks first (livelock freedom).
+        resident.sort(key=_Flit.age_rank)
+        assignments: List[Tuple[_Flit, int]] = []
+        for flit in resident:
+            productive = [
+                port for port in free_ports
+                if self.topology.min_hops(ports[port][0], flit.dst_router)
+                < self.topology.min_hops(router_id, flit.dst_router)
+            ]
+            if productive:
+                port = productive[0] if len(productive) == 1 else (
+                    self.rng.choice(productive))
+            else:
+                remaining = sorted(free_ports)
+                if not remaining:
+                    raise ConfigurationError(
+                        "more resident flits than output ports — the "
+                        "injection restriction was violated")
+                port = self.rng.choice(remaining)
+                flit.deflections += 1
+                self.total_deflections += 1
+            free_ports.discard(port)
+            assignments.append((flit, port))
+        # Injection: one flit per local node, only into leftover ports.
+        for node in self.topology.nodes_of_router(router_id):
+            if not free_ports:
+                break
+            queue = self._queues[node]
+            if not queue:
+                continue
+            flit = queue.pop(0)
+            flit.inject_cycle = now
+            self.stats.record_injection(flit, now)
+            productive = [
+                port for port in free_ports
+                if self.topology.min_hops(ports[port][0], flit.dst_router)
+                < self.topology.min_hops(router_id, flit.dst_router)
+            ]
+            pool = productive or sorted(free_ports)
+            port = pool[0] if len(pool) == 1 else self.rng.choice(pool)
+            if not productive:
+                flit.deflections += 1
+                self.total_deflections += 1
+            free_ports.discard(port)
+            assignments.append((flit, port))
+        # Launch.
+        self._at_router[router_id] = []
+        for flit, port in assignments:
+            neighbor, _, latency = ports[port]
+            flit.hops += 1
+            self._in_flight.setdefault(now + latency, []).append(
+                (neighbor, flit))
+
+    def _deliver(self, flit: _Flit, now: int) -> None:
+        flit.eject_cycle = now
+        self.stats.record_delivery(flit, now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def flits_in_network(self) -> int:
+        """Resident + in-flight flits."""
+        resident = sum(len(r) for r in self._at_router)
+        flying = sum(len(v) for v in self._in_flight.values())
+        return resident + flying
+
+    def backlog(self) -> int:
+        """Flits waiting in injection queues."""
+        return sum(len(q) for q in self._queues)
+
+    def is_drained(self) -> bool:
+        """No flits anywhere."""
+        return self.flits_in_network() == 0 and self.backlog() == 0

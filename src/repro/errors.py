@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (bad ports, unreachable nodes, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routing algorithm produced an illegal decision."""
+
+
+class ProtocolError(ReproError):
+    """The network datapath violated one of its invariants.
+
+    This is raised by internal self-checks (e.g. a flit pushed into an
+    occupied virtual channel) and always indicates a simulator bug, never a
+    property of the simulated design.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation could not be completed (e.g. unresolved deadlock when the
+    configuration promised deadlock freedom)."""

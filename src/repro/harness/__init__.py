@@ -1,0 +1,25 @@
+"""Experiment harness: named configurations, runners and report tables."""
+
+from repro.harness.configs import (
+    DesignConfig,
+    MESH_DESIGNS,
+    DRAGONFLY_DESIGNS,
+    get_design,
+    build_network,
+)
+from repro.harness.runner import latency_curve, run_design
+from repro.harness.tables import format_table
+from repro.harness.theories import TABLE_I, TheoryRow
+
+__all__ = [
+    "DesignConfig",
+    "MESH_DESIGNS",
+    "DRAGONFLY_DESIGNS",
+    "get_design",
+    "build_network",
+    "latency_curve",
+    "run_design",
+    "format_table",
+    "TABLE_I",
+    "TheoryRow",
+]

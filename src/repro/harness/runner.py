@@ -1,0 +1,80 @@
+"""High-level experiment runners.
+
+Thin wrappers that turn a design name + traffic pattern + load into a
+simulated :class:`~repro.stats.sweep.SweepPoint`, shared by the examples and
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import SimulationConfig
+from repro.harness.configs import (
+    DRAGONFLY_SMALL,
+    MESH_SIDE,
+    build_network,
+    get_design,
+)
+from repro.stats.sweep import InjectionSweep, SweepPoint, run_point
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def _pattern_cols(design, mesh_side: int) -> Optional[int]:
+    return mesh_side if design.topology == "mesh" else None
+
+
+def run_design(design_name: str, pattern_name: str, injection_rate: float,
+               sim_config: Optional[SimulationConfig] = None,
+               seed: int = 1, mesh_side: int = MESH_SIDE,
+               dragonfly: Tuple[int, int, int] = DRAGONFLY_SMALL,
+               mix: Optional[PacketMix] = None,
+               tdd: Optional[int] = None):
+    """Run one design at one load; returns (network, SweepPoint)."""
+    design = get_design(design_name)
+    sim_config = sim_config or SimulationConfig()
+    cols = _pattern_cols(design, mesh_side)
+
+    def network_factory():
+        return build_network(design, seed=seed, mesh_side=mesh_side,
+                             dragonfly=dragonfly, tdd=tdd)
+
+    def traffic_factory(network, stop_at):
+        pattern = make_pattern(pattern_name, network.topology.num_nodes, cols)
+        return SyntheticTraffic(network, pattern, injection_rate, mix=mix,
+                                seed=seed, stop_at=stop_at)
+
+    return run_point(network_factory, traffic_factory, sim_config,
+                     injection_rate=injection_rate)
+
+
+def latency_curve(design_name: str, pattern_name: str, rates: List[float],
+                  sim_config: Optional[SimulationConfig] = None,
+                  seed: int = 1, mesh_side: int = MESH_SIDE,
+                  dragonfly: Tuple[int, int, int] = DRAGONFLY_SMALL,
+                  mix: Optional[PacketMix] = None,
+                  tdd: Optional[int] = None,
+                  latency_cap: float = 4.0) -> Tuple[List[SweepPoint], float]:
+    """Latency-vs-injection curve for one design and pattern.
+
+    Returns:
+        (points, saturation throughput in flits/node/cycle).
+    """
+    design = get_design(design_name)
+    sim_config = sim_config or SimulationConfig()
+    cols = _pattern_cols(design, mesh_side)
+
+    def network_factory():
+        return build_network(design, seed=seed, mesh_side=mesh_side,
+                             dragonfly=dragonfly, tdd=tdd)
+
+    def traffic_factory(network, rate, stop_at):
+        pattern = make_pattern(pattern_name, network.topology.num_nodes, cols)
+        return SyntheticTraffic(network, pattern, rate, mix=mix, seed=seed,
+                                stop_at=stop_at)
+
+    sweep = InjectionSweep(network_factory, traffic_factory, sim_config,
+                           rates, latency_cap=latency_cap)
+    points = sweep.run()
+    return points, sweep.saturation_rate(points)

@@ -1,0 +1,99 @@
+"""Table I of the paper: qualitative comparison of deadlock-freedom theories.
+
+Encoded as data (not prose) so the benchmark harness can regenerate the
+table and the tests can cross-check it against the properties of the
+implemented algorithms (e.g. the VC minimums enforced by each routing
+class's configuration validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TheoryRow:
+    """One row of Table I.
+
+    VC costs are per message class; ``None`` marks "not possible".
+    """
+
+    theory: str
+    injection_restrictions: bool
+    acyclic_cdg_required: bool
+    topology_dependent: bool
+    vc_min_deterministic_mesh: Optional[int]
+    vc_min_deterministic_dragonfly: Optional[int]
+    vc_fully_adaptive_mesh: Optional[int]
+    vc_fully_adaptive_dragonfly: Optional[int]
+    livelock_freedom_cost: str
+    notes: str = ""
+
+
+TABLE_I: Tuple[TheoryRow, ...] = (
+    TheoryRow(
+        theory="Dally's Theory",
+        injection_restrictions=False,
+        acyclic_cdg_required=True,
+        topology_dependent=True,
+        vc_min_deterministic_mesh=1,
+        vc_min_deterministic_dragonfly=2,
+        vc_fully_adaptive_mesh=6,
+        vc_fully_adaptive_dragonfly=3,
+        livelock_freedom_cost="None",
+    ),
+    TheoryRow(
+        theory="Duato's Theory",
+        injection_restrictions=False,
+        acyclic_cdg_required=False,
+        topology_dependent=True,
+        vc_min_deterministic_mesh=1,
+        vc_min_deterministic_dragonfly=2,
+        vc_fully_adaptive_mesh=2,
+        vc_fully_adaptive_dragonfly=3,
+        livelock_freedom_cost="None",
+        notes=("Needs only an acyclic connected sub-graph, but must know the "
+               "topology to design the escape-VC CDG."),
+    ),
+    TheoryRow(
+        theory="Flow Control",
+        injection_restrictions=True,
+        acyclic_cdg_required=False,
+        topology_dependent=True,
+        vc_min_deterministic_mesh=2,
+        vc_min_deterministic_dragonfly=2,
+        vc_fully_adaptive_mesh=2,
+        vc_fully_adaptive_dragonfly=2,
+        livelock_freedom_cost="None",
+    ),
+    TheoryRow(
+        theory="Deflection Routing",
+        injection_restrictions=True,
+        acyclic_cdg_required=False,
+        topology_dependent=False,
+        vc_min_deterministic_mesh=None,
+        vc_min_deterministic_dragonfly=None,
+        vc_fully_adaptive_mesh=0,
+        vc_fully_adaptive_dragonfly=0,
+        livelock_freedom_cost="High",
+        notes=("Minimal routing cannot be guaranteed by design; cannot "
+               "inject when #packets at a router equals its output ports."),
+    ),
+    TheoryRow(
+        theory="SPIN",
+        injection_restrictions=False,
+        acyclic_cdg_required=False,
+        topology_dependent=False,
+        vc_min_deterministic_mesh=1,
+        vc_min_deterministic_dragonfly=1,
+        vc_fully_adaptive_mesh=1,
+        vc_fully_adaptive_dragonfly=1,
+        livelock_freedom_cost="None",
+    ),
+)
+
+
+def spin_row() -> TheoryRow:
+    """The SPIN row (convenience for tests)."""
+    return TABLE_I[-1]

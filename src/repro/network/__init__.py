@@ -1,0 +1,25 @@
+"""Network datapath substrate: packets, VCs, links, routers, NICs.
+
+This package is the Python equivalent of the Garnet2.0 model the paper
+evaluates on: a cycle-accurate virtual-cut-through network with credit-style
+buffer visibility, parameterized by :class:`repro.config.NetworkConfig` and
+driven by the phase hooks of :class:`repro.sim.engine.Simulator`.
+"""
+
+from repro.network.packet import Packet
+from repro.network.vc import VirtualChannel
+from repro.network.link import Link
+from repro.network.router import Router, EJECT_PORT_BASE, INJECT_PORT_BASE
+from repro.network.nic import NetworkInterface
+from repro.network.network import Network
+
+__all__ = [
+    "Packet",
+    "VirtualChannel",
+    "Link",
+    "Router",
+    "NetworkInterface",
+    "Network",
+    "EJECT_PORT_BASE",
+    "INJECT_PORT_BASE",
+]

@@ -1,0 +1,98 @@
+"""Human-readable snapshots of live network state.
+
+Debugging aids for library users: an ASCII occupancy map for mesh-like
+topologies, a dump of the blocked-packet dependency structure, and a SPIN
+control-plane summary.  The deadlock_anatomy example and several failure
+messages in the test-suite build on these.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.router import is_ejection_port
+
+
+def occupancy_map(network) -> str:
+    """ASCII grid of per-router VC occupancy (mesh/torus only).
+
+    Each cell shows ``occupied/total`` network-input VCs; a trailing ``*``
+    marks routers with at least one frozen VC.
+    """
+    topology = network.topology
+    if not hasattr(topology, "coordinates") or not hasattr(topology, "cols"):
+        raise TypeError("occupancy_map needs a mesh-like topology")
+    lines: List[str] = []
+    for y in range(topology.rows):
+        cells = []
+        for x in range(topology.cols):
+            router = network.routers[topology.router_at(x, y)]
+            total = occupied = 0
+            frozen = False
+            for _port, vcs in router.inports.items():
+                for vc in vcs:
+                    total += 1
+                    if vc.packet is not None:
+                        occupied += 1
+                    frozen = frozen or vc.frozen
+            cells.append(f"{occupied}/{total}{'*' if frozen else ' '}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def blocked_packet_report(network, now: int, limit: int = 50) -> str:
+    """One line per blocked packet: location, destination, wait set."""
+    from repro.deadlock.waitgraph import blocked_packets, find_deadlocked_packets
+
+    deadlocked = find_deadlocked_packets(network, now)
+    lines = []
+    for key, packet, targets in blocked_packets(network, now)[:limit]:
+        router, inport, index = key
+        mark = "DEADLOCKED" if packet.uid in deadlocked else "blocked"
+        wait = ", ".join(
+            f"r{t.router}:p{t.inport}.{t.index}" for t in targets[:4])
+        more = "..." if len(targets) > 4 else ""
+        lines.append(
+            f"pkt {packet.uid} [{mark}] at r{router}:p{inport}.{index} "
+            f"-> r{packet.dst_router} (req {packet.current_request}) "
+            f"waits on {wait}{more}")
+    return "\n".join(lines) if lines else "(no blocked packets)"
+
+
+def spin_report(network) -> str:
+    """Summary of the SPIN control plane's current state."""
+    if network.spin is None:
+        return "(SPIN not attached)"
+    from collections import Counter
+
+    states = Counter(c.state.value for c in network.spin.controllers)
+    initiators = [
+        c.router.id for c in network.spin.controllers
+        if c.spin_cycle is not None
+    ]
+    lines = [
+        "controller states: "
+        + ", ".join(f"{name}={count}" for name, count in sorted(states.items())),
+        f"frozen VCs: {network.spin.frozen_vc_count()}",
+        f"pending spins: {network.spin.executor.pending_spins()}",
+    ]
+    if initiators:
+        lines.append(f"active initiators: {initiators}")
+    return "\n".join(lines)
+
+
+def ejection_pressure(network, now: int) -> float:
+    """Fraction of blocked packets whose request is an ejection port.
+
+    High values indicate an ejection-bandwidth bottleneck rather than a
+    routing problem.
+    """
+    total = waiting_eject = 0
+    for _router, _inport, vc in network.occupied_vcs():
+        packet = vc.packet
+        if packet is None or packet.current_request is None:
+            continue
+        total += 1
+        if is_ejection_port(packet.current_request):
+            waiting_eject += 1
+    return waiting_eject / total if total else 0.0

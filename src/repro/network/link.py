@@ -1,0 +1,63 @@
+"""Physical links.
+
+A link carries one flit per cycle in its single direction and has a fixed
+pipeline latency.  Utilization counters distinguish regular flit traffic from
+SPIN's special messages so Fig. 8(b) of the paper can be regenerated.
+"""
+
+from __future__ import annotations
+
+
+class Link:
+    """One direction of a channel between two router ports."""
+
+    __slots__ = (
+        "src", "src_port", "dst", "dst_port", "latency",
+        "busy_until", "flit_cycles", "sm_cycles", "measure_from",
+    )
+
+    def __init__(self, src: int, src_port: int, dst: int, dst_port: int,
+                 latency: int) -> None:
+        self.src = src
+        self.src_port = src_port
+        self.dst = dst
+        self.dst_port = dst_port
+        self.latency = latency
+        #: Last cycle (inclusive) the link is occupied by a packet in flight.
+        self.busy_until = -1
+        #: Flit-cycles of regular traffic since ``measure_from``.
+        self.flit_cycles = 0
+        #: Cycles consumed by special messages since ``measure_from``.
+        self.sm_cycles = 0
+        #: Cycle utilization accounting started.
+        self.measure_from = 0
+
+    def is_free(self, now: int) -> bool:
+        """Whether a new packet may start traversing this cycle."""
+        return now > self.busy_until
+
+    def occupy(self, now: int, flits: int) -> None:
+        """Start a ``flits``-long packet transmission at ``now``."""
+        self.busy_until = now + flits - 1
+        self.flit_cycles += flits
+
+    def record_sm(self) -> None:
+        """Account one special-message traversal (SMs bypass flit occupancy)."""
+        self.sm_cycles += 1
+
+    def reset_utilization(self, now: int) -> None:
+        """Restart utilization accounting at ``now``."""
+        self.flit_cycles = 0
+        self.sm_cycles = 0
+        self.measure_from = now
+
+    def utilization(self, now: int) -> tuple:
+        """(flit share, SM share, idle share) of cycles since measurement start."""
+        elapsed = max(1, now - self.measure_from)
+        flit_share = min(1.0, self.flit_cycles / elapsed)
+        sm_share = min(1.0, self.sm_cycles / elapsed)
+        return flit_share, sm_share, max(0.0, 1.0 - flit_share - sm_share)
+
+    def __repr__(self) -> str:
+        return (f"Link(r{self.src}.p{self.src_port} -> "
+                f"r{self.dst}.p{self.dst_port}, lat={self.latency})")

@@ -1,0 +1,111 @@
+"""Network interface controllers (NICs).
+
+One NIC per terminal node.  A NIC owns per-vnet injection queues and pushes
+queued packets into its router's injection-port VCs; on the ejection side it
+accepts packets without stalls (the paper's NICs "eject flits without any
+stalls") and optionally generates protocol replies for request/response
+traffic (used by the PARSEC proxy workloads).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.network.packet import Packet
+from repro.network.router import INJECT_PORT_BASE
+
+
+class NetworkInterface:
+    """Injection/ejection endpoint for one terminal node."""
+
+    def __init__(self, node: int, router_id: int, local_index: int,
+                 num_vnets: int) -> None:
+        self.node = node
+        self.router_id = router_id
+        self.local_index = local_index
+        self.inject_port = INJECT_PORT_BASE + local_index
+        self.queues: List[Deque[Packet]] = [deque() for _ in range(num_vnets)]
+        #: Round-robin pointer across vnet queues.
+        self._next_vnet = 0
+        self.network = None  # set by Network
+        #: Packets created at this NIC (for stats).
+        self.packets_created = 0
+        #: Packets delivered to this NIC.
+        self.packets_received = 0
+        #: Peak injection-queue backlog observed.
+        self.peak_backlog = 0
+
+    def enqueue(self, packet: Packet) -> None:
+        """Queue a freshly created packet for injection."""
+        self.queues[packet.vnet].append(packet)
+        self.packets_created += 1
+        backlog = sum(len(q) for q in self.queues)
+        if backlog > self.peak_backlog:
+            self.peak_backlog = backlog
+
+    def backlog(self) -> int:
+        """Packets waiting in the injection queues."""
+        return sum(len(queue) for queue in self.queues)
+
+    def try_inject(self, now: int) -> Optional[Packet]:
+        """Inject at most one queued packet into the router this cycle.
+
+        Vnet queues are served round-robin; a packet enters the first idle
+        VC (among the classes its routing algorithm permits) of this NIC's
+        injection port.
+
+        Returns:
+            The injected packet, or None.
+        """
+        router = self.network.routers[self.router_id]
+        if now <= router.port_busy[self.inject_port]:
+            return None
+        num_vnets = len(self.queues)
+        for offset in range(num_vnets):
+            vnet = (self._next_vnet + offset) % num_vnets
+            queue = self.queues[vnet]
+            if not queue:
+                continue
+            packet = queue[0]
+            vc = self._pick_injection_vc(router, packet, now)
+            if vc is None:
+                continue
+            queue.popleft()
+            self._next_vnet = (vnet + 1) % num_vnets
+            self.network.routing.on_inject(packet, now)
+            vc.reserve(packet, now, link_latency=1,
+                       router_latency=router.config.router_latency)
+            router.port_busy[self.inject_port] = now + packet.length - 1
+            packet.inject_cycle = now
+            self.network.note_vc_reserved(router)
+            self.network.stats.record_injection(packet, now)
+            return packet
+        return None
+
+    def _pick_injection_vc(self, router, packet: Packet, now: int):
+        choices = self.network.routing.injection_vc_choices(packet)
+        vcs = router.vnet_slice(self.inject_port, packet.vnet)
+        for idx in choices:
+            if vcs[idx].is_idle(now):
+                return vcs[idx]
+        return None
+
+    def receive(self, packet: Packet, now: int) -> None:
+        """Accept a delivered packet; generate a reply if one is owed."""
+        self.packets_received += 1
+        if packet.reply_length > 0:
+            reply = Packet(
+                src_node=self.node,
+                dst_node=packet.src_node,
+                src_router=self.router_id,
+                dst_router=packet.src_router,
+                length=packet.reply_length,
+                vnet=min(packet.vnet + 1, len(self.queues) - 1),
+                create_cycle=now,
+            )
+            reply.measured = packet.measured
+            self.enqueue(reply)
+
+    def __repr__(self) -> str:
+        return f"NIC(node={self.node}, router={self.router_id})"

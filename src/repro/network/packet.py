@@ -1,0 +1,118 @@
+"""Packets.
+
+The simulator moves whole packets between virtual channels while accounting
+for multi-flit serialization exactly (see DESIGN.md §3), so the packet is the
+unit of bookkeeping and flits exist as timing, not as objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One network packet.
+
+    Attributes:
+        uid: Globally unique packet id.
+        src_node / dst_node: Terminal endpoints.
+        src_router / dst_router: Routers those terminals attach to.
+        length: Packet length in flits.
+        vnet: Virtual network (message class) the packet travels in.
+        create_cycle: Cycle the traffic source created the packet (queueing
+            delay at the NIC counts toward end-to-end latency).
+        inject_cycle: Cycle the packet entered a router input VC, or None
+            while still queued at the NIC.
+        eject_cycle: Cycle the packet's tail reached its destination NIC.
+        hops: Router-to-router hops taken so far.
+        misroutes: Hops that did not reduce the distance to the current
+            routing target.
+        spins: Number of SPIN rotations this packet has participated in.
+        intermediate_router: Valiant intermediate router for non-minimal
+            routing, or None.
+        phase: 0 while heading to the intermediate router, 1 afterwards
+            (always 1 for minimal routing).
+        vc_class: VC class the packet is restricted to under Dally-style VC
+            ordering disciplines (managed by the routing algorithm).
+        current_request: Output port the packet asked for in the last
+            allocation cycle (consumed by SPIN's probe logic), or None.
+        measured: Whether this packet falls in the statistics window.
+        route_state: Open dictionary for algorithm-specific annotations.
+    """
+
+    __slots__ = (
+        "uid", "src_node", "dst_node", "src_router", "dst_router", "length",
+        "vnet", "create_cycle", "inject_cycle", "eject_cycle", "hops",
+        "misroutes", "spins", "intermediate_router", "phase", "vc_class",
+        "current_request", "measured", "route_state", "reply_length",
+    )
+
+    def __init__(self, src_node: int, dst_node: int, src_router: int,
+                 dst_router: int, length: int, vnet: int = 0,
+                 create_cycle: int = 0) -> None:
+        self.uid = next(_packet_ids)
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.src_router = src_router
+        self.dst_router = dst_router
+        self.length = length
+        self.vnet = vnet
+        self.create_cycle = create_cycle
+        self.inject_cycle: Optional[int] = None
+        self.eject_cycle: Optional[int] = None
+        self.hops = 0
+        self.misroutes = 0
+        self.spins = 0
+        self.intermediate_router: Optional[int] = None
+        self.phase = 1
+        self.vc_class = 0
+        self.current_request: Optional[int] = None
+        self.measured = False
+        self.route_state: Dict[str, Any] = {}
+        #: Length of the reply this packet solicits (request/response traffic),
+        #: or 0 for one-way traffic.
+        self.reply_length = 0
+
+    @property
+    def routing_target(self) -> int:
+        """Router the packet is currently steering toward.
+
+        The intermediate router during phase 0 of non-minimal routing, the
+        final destination otherwise.
+        """
+        if self.phase == 0 and self.intermediate_router is not None:
+            return self.intermediate_router
+        return self.dst_router
+
+    def reached_phase_target(self, router: int) -> bool:
+        """Advance to phase 1 if the phase-0 target was reached.
+
+        Returns:
+            True if the packet is at its *final* destination router.
+        """
+        if self.phase == 0 and router == self.intermediate_router:
+            self.phase = 1
+        return router == self.dst_router and self.phase == 1
+
+    def latency(self) -> int:
+        """End-to-end latency including NIC queueing.
+
+        Raises:
+            ValueError: If the packet has not been ejected yet.
+        """
+        if self.eject_cycle is None:
+            raise ValueError(f"packet {self.uid} not ejected yet")
+        return self.eject_cycle - self.create_cycle
+
+    def network_latency(self) -> int:
+        """Latency from router injection to ejection (no NIC queueing)."""
+        if self.eject_cycle is None or self.inject_cycle is None:
+            raise ValueError(f"packet {self.uid} not delivered yet")
+        return self.eject_cycle - self.inject_cycle
+
+    def __repr__(self) -> str:
+        return (f"Packet(uid={self.uid}, {self.src_node}->{self.dst_node}, "
+                f"len={self.length}, vnet={self.vnet}, hops={self.hops})")

@@ -1,0 +1,267 @@
+"""Router model.
+
+A single-cycle (configurable) virtual-cut-through router:
+
+* **Route compute** — every ready head packet asks the routing algorithm for
+  an output port each cycle (fully adaptive algorithms may change their
+  answer as congestion evolves).  The answer is recorded in
+  ``packet.current_request`` which SPIN's probe logic consumes.
+* **Switch allocation** — separable: one grant per input port and one per
+  output port per cycle, round-robin arbitration at each output port.
+* **Switch/link traversal** — a granted packet reserves an idle downstream
+  VC and streams its flits across the link, occupying the input port, the
+  output link, and (progressively) the downstream buffer for ``length``
+  cycles; see DESIGN.md §3 for the exact timing contract.
+
+Port-number convention: network ports are small integers defined by the
+topology; injection (NIC -> router) ports start at :data:`INJECT_PORT_BASE`;
+ejection (router -> NIC) ports start at :data:`EJECT_PORT_BASE`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import NetworkConfig
+from repro.errors import RoutingError
+from repro.network.link import Link
+from repro.network.packet import Packet
+from repro.network.vc import VirtualChannel
+
+#: First port index used for NIC->router injection ports.
+INJECT_PORT_BASE = 1000
+#: First port index used for router->NIC ejection ports.
+EJECT_PORT_BASE = 2000
+
+
+def is_ejection_port(port: int) -> bool:
+    """Whether a port index denotes an ejection (router->NIC) port."""
+    return port >= EJECT_PORT_BASE
+
+
+def is_injection_port(port: int) -> bool:
+    """Whether a port index denotes an injection (NIC->router) port."""
+    return INJECT_PORT_BASE <= port < EJECT_PORT_BASE
+
+
+class Router:
+    """One network router."""
+
+    def __init__(self, router_id: int, config: NetworkConfig) -> None:
+        self.id = router_id
+        self.config = config
+        #: Network input ports: port index -> VCs (vnet-major order).
+        self.inports: Dict[int, List[VirtualChannel]] = {}
+        #: Injection ports from attached NICs.
+        self.local_inports: Dict[int, List[VirtualChannel]] = {}
+        #: Outbound links by network output port.
+        self.out_links: Dict[int, Link] = {}
+        #: Downstream (router, inport) by network output port.
+        self.out_neighbors: Dict[int, Tuple["Router", int]] = {}
+        #: Ejection port busy-until times (one per attached NIC).
+        self.eject_busy: Dict[int, int] = {}
+        #: Input-port busy-until times (switch input occupancy).
+        self.port_busy: Dict[int, int] = {}
+        #: Round-robin arbiter pointers per output port.
+        self._rr: Dict[int, int] = {}
+        #: Number of occupied VCs (fast skip for quiet routers).
+        self.active_vcs = 0
+        self.network = None  # set by Network
+
+    # ------------------------------------------------------------------
+    # Construction (called by Network)
+    # ------------------------------------------------------------------
+    def add_network_port(self, port: int) -> None:
+        """Create the input VCs behind a network port."""
+        self.inports[port] = self._make_vcs(port)
+        self.port_busy[port] = -1
+
+    def add_local_port(self, local_index: int) -> None:
+        """Create injection/ejection ports for one attached NIC."""
+        inject = INJECT_PORT_BASE + local_index
+        self.local_inports[inject] = self._make_vcs(inject)
+        self.port_busy[inject] = -1
+        self.eject_busy[EJECT_PORT_BASE + local_index] = -1
+
+    def _make_vcs(self, port: int) -> List[VirtualChannel]:
+        vcs = []
+        for vnet in range(self.config.num_vnets):
+            for _ in range(self.config.vcs_per_vnet):
+                vcs.append(VirtualChannel(self.id, port, len(vcs), vnet))
+        return vcs
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def all_inports(self) -> Iterable[Tuple[int, List[VirtualChannel]]]:
+        """Network input ports first, then injection ports."""
+        yield from self.inports.items()
+        yield from self.local_inports.items()
+
+    def vcs_at(self, port: int) -> List[VirtualChannel]:
+        """VCs behind any input port (network or injection)."""
+        if port in self.inports:
+            return self.inports[port]
+        return self.local_inports[port]
+
+    def vnet_slice(self, port: int, vnet: int) -> List[VirtualChannel]:
+        """The VCs of one virtual network at an input port."""
+        base = vnet * self.config.vcs_per_vnet
+        return self.vcs_at(port)[base:base + self.config.vcs_per_vnet]
+
+    def network_ports(self) -> List[int]:
+        """Network output-port indices, ascending."""
+        return sorted(self.out_links)
+
+    def idle_downstream_vc(self, outport: int, vnet: int,
+                           local_indices: Iterable[int],
+                           now: int) -> Optional[VirtualChannel]:
+        """First idle VC among the given class choices at the next hop."""
+        neighbor, dst_port = self.out_neighbors[outport]
+        vcs = neighbor.vnet_slice(dst_port, vnet)
+        for idx in local_indices:
+            if vcs[idx].is_idle(now):
+                return vcs[idx]
+        return None
+
+    def downstream_has_idle(self, outport: int, vnet: int,
+                            local_indices: Iterable[int], now: int) -> bool:
+        """Whether any of the given downstream VC classes is idle."""
+        return self.idle_downstream_vc(outport, vnet, local_indices, now) is not None
+
+    def downstream_min_active_time(self, outport: int, vnet: int,
+                                   local_indices: Iterable[int],
+                                   now: int) -> int:
+        """Minimum "active for" time among downstream VC choices.
+
+        This is the congestion proxy FAvORS reads from credits (paper Sec. V):
+        0 if any VC is idle, otherwise the smallest occupancy age.
+        """
+        neighbor, dst_port = self.out_neighbors[outport]
+        vcs = neighbor.vnet_slice(dst_port, vnet)
+        best = None
+        for idx in local_indices:
+            vc = vcs[idx]
+            if vc.is_idle(now):
+                return 0
+            age = vc.active_time(now)
+            if best is None or age < best:
+                best = age
+        if best is None:
+            raise RoutingError(f"no VC choices given for outport {outport}")
+        return best
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, now: int) -> int:
+        """Run one cycle of route compute + switch allocation.
+
+        Returns:
+            Number of packets granted this cycle.
+        """
+        if self.active_vcs == 0:
+            return 0
+        routing = self.network.routing
+        requests: Dict[int, List[VirtualChannel]] = {}
+        for inport, vcs in self.all_inports():
+            port_free = now > self.port_busy[inport]
+            for vc in vcs:
+                packet = vc.packet
+                if packet is None or vc.frozen or now < vc.ready_at:
+                    continue
+                outport = routing.decide(self, inport, packet, now)
+                if outport is None:
+                    continue
+                if port_free:
+                    requests.setdefault(outport, []).append(vc)
+
+        grants = 0
+        granted_inports = set()
+        for outport in sorted(requests):
+            if is_ejection_port(outport):
+                if now <= self.eject_busy[outport]:
+                    continue
+            else:
+                link = self.out_links.get(outport)
+                if link is None:
+                    raise RoutingError(
+                        f"router {self.id} has no output port {outport}")
+                if not link.is_free(now):
+                    continue
+            viable: List[Tuple[VirtualChannel, Optional[VirtualChannel]]] = []
+            for vc in requests[outport]:
+                if vc.inport in granted_inports:
+                    continue
+                if is_ejection_port(outport):
+                    viable.append((vc, None))
+                else:
+                    dvc = routing.pick_downstream_vc(
+                        self, vc.packet, outport, now)
+                    if dvc is not None:
+                        viable.append((vc, dvc))
+            if not viable:
+                continue
+            winner_vc, winner_dvc = self._arbitrate(outport, viable)
+            granted_inports.add(winner_vc.inport)
+            if is_ejection_port(outport):
+                self._grant_ejection(winner_vc, outport, now)
+            else:
+                self._grant_network(winner_vc, winner_dvc, outport, now)
+            grants += 1
+        return grants
+
+    def _arbitrate(self, outport: int, viable) -> Tuple[VirtualChannel, object]:
+        """Round-robin choice among viable (vc, downstream vc) requests."""
+        pointer = self._rr.get(outport, 0)
+        # Order requests by a stable key and pick the first at/after pointer.
+        viable.sort(key=lambda pair: (pair[0].inport, pair[0].index))
+        keys = [(vc.inport * 64 + vc.index) for vc, _ in viable]
+        chosen = 0
+        for i, key in enumerate(keys):
+            if key >= pointer:
+                chosen = i
+                break
+        vc, dvc = viable[chosen]
+        self._rr[outport] = keys[chosen] + 1
+        return vc, dvc
+
+    def _grant_network(self, vc: VirtualChannel, dvc: VirtualChannel,
+                       outport: int, now: int) -> None:
+        """Move a packet one hop: reserve downstream, start streaming."""
+        packet = vc.release(now)
+        link = self.out_links[outport]
+        neighbor, _ = self.out_neighbors[outport]
+        network = self.network
+        routing = network.routing
+
+        was_min = network.topology.min_hops(self.id, packet.routing_target)
+        dvc.reserve(packet, now, link.latency, self.config.router_latency)
+        link.occupy(now, packet.length)
+        self.port_busy[vc.inport] = now + packet.length - 1
+        packet.hops += 1
+        now_min = network.topology.min_hops(neighbor.id, packet.routing_target)
+        if now_min >= was_min:
+            packet.misroutes += 1
+        packet.current_request = None
+        routing.on_hop(packet, self, outport)
+        network.stats.count("flit_hops", packet.length)
+        network.note_vc_released(self)
+        network.note_vc_reserved(neighbor)
+        network.note_movement()
+
+    def _grant_ejection(self, vc: VirtualChannel, outport: int,
+                        now: int) -> None:
+        """Deliver a packet to its destination NIC."""
+        packet = vc.release(now)
+        self.eject_busy[outport] = now + packet.length - 1
+        self.port_busy[vc.inport] = now + packet.length - 1
+        # Tail reaches the NIC after the 1-cycle local link plus serialization.
+        packet.eject_cycle = now + 1 + packet.length - 1
+        packet.current_request = None
+        self.network.deliver(packet, self.id, outport, now)
+        self.network.note_vc_released(self)
+        self.network.note_movement()
+
+    def __repr__(self) -> str:
+        return f"Router({self.id}, ports={sorted(self.out_links)})"

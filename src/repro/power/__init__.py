@@ -1,0 +1,26 @@
+"""Analytical router area/power/EDP models.
+
+Substitute for the paper's Nangate 15nm RTL synthesis (DESIGN.md
+substitution note 3): parameterized analytical models whose constants are
+calibrated so that every published ratio (1-VC vs 3-VC savings, Fig. 10
+overheads) is reproduced, with the calibration asserted by tests.
+"""
+
+from repro.power.model import (
+    AreaModel,
+    EnergyModel,
+    RouterSpec,
+    network_energy,
+    network_edp,
+)
+from repro.power.modules import SPIN_MODULES, loop_buffer_bits
+
+__all__ = [
+    "AreaModel",
+    "EnergyModel",
+    "RouterSpec",
+    "network_energy",
+    "network_edp",
+    "SPIN_MODULES",
+    "loop_buffer_bits",
+]

@@ -1,0 +1,52 @@
+"""SPIN hardware modules (paper Table II) and their sizing.
+
+The only storage SPIN adds to a router is the control-path *loop buffer*
+holding the deadlock path: ``log2(router radix) x N`` bits for an N-router
+topology — about one flit for a 64-router mesh with 128-bit links, as the
+paper notes.  The datapath gains no buffers at all, which is the crux of the
+area comparison against escape-VC schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SpinModule:
+    """One of the SPIN router modules of Table II."""
+
+    name: str
+    description: str
+
+
+SPIN_MODULES: Tuple[SpinModule, ...] = (
+    SpinModule(
+        "FSM",
+        "Manages SM traversals and correctness (Fig. 4a, Sec. IV-C2)."),
+    SpinModule(
+        "Probe Manager",
+        "Scans input-port VCs for the set of unique waited-on output ports "
+        "and forks received probes out of all of them."),
+    SpinModule(
+        "Move Manager",
+        "Processes move, kill_move and probe_move messages based on the "
+        "FSM state (Sec. IV-B)."),
+    SpinModule(
+        "Loop Buffer",
+        "Stores the deadlock path: log2(router radix) x N bits for N "
+        "routers (about 1 flit deep for a 64-core mesh with 128-bit links)."),
+)
+
+
+def loop_buffer_bits(radix: int, num_routers: int) -> int:
+    """Size of the loop buffer in bits (Table II formula)."""
+    port_bits = max(1, math.ceil(math.log2(max(2, radix))))
+    return port_bits * num_routers
+
+
+def loop_buffer_flits(radix: int, num_routers: int, flit_bits: int = 128) -> float:
+    """Loop buffer depth expressed in flits (the paper's ~1-flit claim)."""
+    return loop_buffer_bits(radix, num_routers) / flit_bits

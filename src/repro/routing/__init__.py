@@ -1,0 +1,35 @@
+"""Routing algorithms.
+
+Every algorithm implements :class:`~repro.routing.base.RoutingAlgorithm`.
+The registry groups them by the deadlock-freedom theory they rely on
+(Table I of the paper):
+
+* Dally's theory — :class:`DimensionOrderRouting` (XY), :class:`WestFirstRouting`,
+  :class:`UgalRouting` (with its VC-ordering discipline), :class:`UpDownRouting`.
+* Duato's theory — :class:`EscapeVcRouting`.
+* SPIN — :class:`MinimalAdaptiveRouting`, :class:`FavorsMinimal`,
+  :class:`FavorsNonMinimal` (no restrictions; rely on recovery).
+"""
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.dor import DimensionOrderRouting
+from repro.routing.turn_model import WestFirstRouting, NorthLastRouting
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.routing.escape import EscapeVcRouting
+from repro.routing.ugal import UgalRouting, MinimalDragonflyRouting
+from repro.routing.favors import FavorsMinimal, FavorsNonMinimal
+from repro.routing.table import UpDownRouting
+
+__all__ = [
+    "RoutingAlgorithm",
+    "DimensionOrderRouting",
+    "WestFirstRouting",
+    "NorthLastRouting",
+    "MinimalAdaptiveRouting",
+    "EscapeVcRouting",
+    "UgalRouting",
+    "MinimalDragonflyRouting",
+    "FavorsMinimal",
+    "FavorsNonMinimal",
+    "UpDownRouting",
+]

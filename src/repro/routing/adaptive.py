@@ -1,0 +1,30 @@
+"""Fully adaptive minimal routing — no turn or VC-use restrictions.
+
+The packet may use *any* output port on *any* minimal path and *any* VC,
+which is exactly the routing freedom SPIN enables with a single VC (the
+paper's "MinAdaptive ... SPIN" configurations).  Without a recovery control
+plane this algorithm deadlocks — demonstrated in the integration tests and
+exploited by Fig. 3's deadlock-rate experiment.
+
+Works on any topology because productive ports are derived from the
+topology's hop-distance metric.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.network.packet import Packet
+from repro.routing.base import RoutingAlgorithm
+
+
+class MinimalAdaptiveRouting(RoutingAlgorithm):
+    """Adaptive among all minimal-path output ports, any VC."""
+
+    name = "MinAdaptive"
+    minimal = True
+    max_misroutes = 0
+    theory = "SPIN"
+
+    def candidate_outports(self, router, packet: Packet) -> Sequence[int]:
+        return self.productive_ports(router, packet.routing_target)

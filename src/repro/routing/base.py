@@ -1,0 +1,197 @@
+"""Routing algorithm interface.
+
+A routing algorithm answers, once per cycle for every ready head packet:
+
+* :meth:`decide` — which output port does this packet request *now*?  Fully
+  adaptive algorithms may answer differently from cycle to cycle as
+  congestion evolves; the answer is recorded in ``packet.current_request``
+  (SPIN's probes read it).
+* :meth:`vc_choices` — which downstream VC classes may the packet occupy
+  through that port (Dally-style VC-ordering disciplines restrict this)?
+
+The default :meth:`select` policy implements the adaptive output selection of
+the paper's FAvORS algorithm (Sec. V): prefer a random port with an idle
+permitted VC; when every permitted VC is busy, wait on the port whose VC has
+been active for the least time (a congestion proxy available from credits).
+Deterministic algorithms simply return a single candidate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.packet import Packet
+from repro.sim.rng import DeterministicRng
+
+
+class RoutingAlgorithm(ABC):
+    """Base class for all routing algorithms."""
+
+    #: Human-readable name used in reports.
+    name = "routing"
+    #: Whether every hop reduces distance to the routing target.
+    minimal = True
+    #: Theorem parameter p: maximum misroutes per packet (Sec. III, Case II).
+    max_misroutes = 0
+    #: Deadlock-freedom theory this algorithm relies on (for reports).
+    theory = "SPIN"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = DeterministicRng(seed).fork(f"routing:{self.name}")
+        self.network = None
+        self.topology = None
+        self._productive_cache = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, network) -> None:
+        """Attach to a network; validates configuration requirements."""
+        self.network = network
+        self.topology = network.topology
+        self._productive_cache = {}
+        self._setup()
+
+    def _setup(self) -> None:
+        """Algorithm-specific validation/precomputation after binding."""
+
+    def _require_vcs(self, minimum: int) -> None:
+        if self.network.config.vcs_per_vnet < minimum:
+            raise ConfigurationError(
+                f"{self.name} needs at least {minimum} VCs per vnet "
+                f"(configured: {self.network.config.vcs_per_vnet})"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-cycle decision
+    # ------------------------------------------------------------------
+    def decide(self, router, inport: int, packet: Packet,
+               now: int) -> Optional[int]:
+        """Request an output port for a head packet this cycle.
+
+        Returns the requested port (possibly an ejection port) and records
+        it in ``packet.current_request``.  Returns None when the packet has
+        nothing to request (should not happen in practice).
+        """
+        if packet.reached_phase_target(router.id):
+            port = self.network.eject_port_for(packet.dst_node)
+            packet.current_request = port
+            return port
+        candidates = self.candidate_outports(router, packet)
+        if not candidates:
+            raise RoutingError(
+                f"{self.name}: no candidate ports at router {router.id} "
+                f"for {packet!r}"
+            )
+        outport = self.select(router, packet, candidates, now)
+        packet.current_request = outport
+        return outport
+
+    @abstractmethod
+    def candidate_outports(self, router, packet: Packet) -> Sequence[int]:
+        """Legal output ports for the packet at this router."""
+
+    def select(self, router, packet: Packet, candidates: Sequence[int],
+               now: int) -> int:
+        """Pick one port to request among the legal candidates.
+
+        When every permitted VC is busy, the previous cycle's request is
+        kept if it is still a legal candidate ("sticky" blocking): a real
+        router holds its switch request asserted while blocked.  Stability
+        matters to SPIN — probes trace ``current_request`` edges, and a
+        wait set that flaps from cycle to cycle breaks probe/move/spin
+        chains and serializes recovery.
+        """
+        if len(candidates) == 1:
+            return candidates[0]
+        free = [
+            port for port in candidates
+            if router.downstream_has_idle(
+                port, packet.vnet, self.vc_choices(packet, router, port), now)
+        ]
+        if free:
+            return free[0] if len(free) == 1 else self.rng.choice(free)
+        previous = packet.current_request
+        if previous is not None and previous in candidates:
+            return previous
+        return self.wait_choice(router, packet, candidates, now)
+
+    def wait_choice(self, router, packet: Packet,
+                    candidates: Sequence[int], now: int) -> int:
+        """Port to wait on when no candidate has an idle VC.
+
+        The default picks the least-active downstream VC (FAvORS, Sec. V).
+        """
+        return min(
+            candidates,
+            key=lambda port: (
+                router.downstream_min_active_time(
+                    port, packet.vnet, self.vc_choices(packet, router, port),
+                    now),
+                port,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # VC disciplines
+    # ------------------------------------------------------------------
+    def vc_choices(self, packet: Packet, router, outport: int) -> Sequence[int]:
+        """Permitted downstream VC indices (within the packet's vnet)."""
+        return range(self.network.config.vcs_per_vnet)
+
+    def injection_vc_choices(self, packet: Packet) -> Sequence[int]:
+        """Permitted VC indices at the injection port."""
+        return range(self.network.config.vcs_per_vnet)
+
+    def pick_downstream_vc(self, router, packet: Packet, outport: int,
+                           now: int):
+        """Concrete idle downstream VC for a grant, or None."""
+        return router.idle_downstream_vc(
+            outport, packet.vnet, self.vc_choices(packet, router, outport), now)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_inject(self, packet: Packet, now: int) -> None:
+        """Source routing decisions (Valiant intermediate, VC class init)."""
+
+    def on_hop(self, packet: Packet, router, outport: int) -> None:
+        """Per-hop state updates (e.g. VC-class increments)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def productive_ports(self, router, target: int) -> Tuple[int, ...]:
+        """Output ports that reduce the hop distance to ``target`` (cached)."""
+        key = (router.id, target)
+        cached = self._productive_cache.get(key)
+        if cached is None:
+            topology = self.topology
+            here = topology.min_hops(router.id, target)
+            cached = tuple(
+                port
+                for port, (neighbor, _) in sorted(router.out_neighbors.items())
+                if topology.min_hops(neighbor.id, target) < here
+            )
+            self._productive_cache[key] = cached
+        return cached
+
+    def wait_targets(self, router, packet: Packet,
+                     now: int) -> List[Tuple[int, list]]:
+        """All (outport, downstream VC objects) pairs the packet may use.
+
+        Consumed by the ground-truth deadlock analysis
+        (:mod:`repro.deadlock.waitgraph`): a blocked packet can make progress
+        if *any* of these VCs frees up.
+        """
+        if packet.reached_phase_target(router.id):
+            return []
+        targets = []
+        for port in self.candidate_outports(router, packet):
+            neighbor, dst_port = router.out_neighbors[port]
+            vcs = neighbor.vnet_slice(dst_port, packet.vnet)
+            choices = [vcs[i] for i in self.vc_choices(packet, router, port)]
+            targets.append((port, choices))
+        return targets

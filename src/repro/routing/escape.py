@@ -1,0 +1,79 @@
+"""Escape-VC routing (Duato's theory) for meshes.
+
+VC 0 of every vnet is the *escape* channel; routing inside it follows a
+deadlock-free restricted function (west-first by default, which is acyclic
+on a mesh).  All other VCs are fully adaptive among minimal paths.  A packet
+always prefers the adaptive VCs; when none is idle it requests the escape
+VC of its escape-route port, so the acyclic escape sub-network is reachable
+from every blocked state — the sufficient condition of Duato's theorem.
+
+This is the paper's ``EscapeVC`` mesh baseline (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.network.packet import Packet
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.turn_model import WestFirstRouting
+
+
+class EscapeVcRouting(RoutingAlgorithm):
+    """Duato-style: adaptive VCs 1..V-1 plus a west-first escape VC 0."""
+
+    name = "EscapeVC"
+    minimal = True
+    max_misroutes = 0
+    theory = "Duato"
+
+    def __init__(self, seed: int = 0, escape_routing=None) -> None:
+        super().__init__(seed)
+        #: Restricted routing function used inside the escape VC.
+        self.escape_routing = escape_routing or WestFirstRouting(seed)
+
+    def _setup(self) -> None:
+        self._require_vcs(2)
+        self.escape_routing.bind(self.network)
+
+    def candidate_outports(self, router, packet: Packet) -> Sequence[int]:
+        return self.productive_ports(router, packet.routing_target)
+
+    def _escape_port(self, router, packet: Packet) -> int:
+        ports = self.escape_routing.candidate_outports(router, packet)
+        return ports[0]
+
+    def select(self, router, packet: Packet, candidates: Sequence[int],
+               now: int) -> int:
+        adaptive = range(1, self.network.config.vcs_per_vnet)
+        free = [
+            port for port in candidates
+            if router.downstream_has_idle(port, packet.vnet, adaptive, now)
+        ]
+        if free:
+            packet.route_state["escape"] = False
+            return free[0] if len(free) == 1 else self.rng.choice(free)
+        # No adaptive VC anywhere: fall back to (or wait on) the escape path.
+        packet.route_state["escape"] = True
+        return self._escape_port(router, packet)
+
+    def vc_choices(self, packet: Packet, router, outport: int) -> Sequence[int]:
+        if packet.route_state.get("escape"):
+            return (0,)
+        return range(1, self.network.config.vcs_per_vnet)
+
+    def wait_targets(self, router, packet: Packet, now: int):
+        """Escape-aware targets: blocked packets can always use VC 0."""
+        if packet.reached_phase_target(router.id):
+            return []
+        targets = []
+        adaptive = range(1, self.network.config.vcs_per_vnet)
+        for port in self.candidate_outports(router, packet):
+            neighbor, dst_port = router.out_neighbors[port]
+            vcs = neighbor.vnet_slice(dst_port, packet.vnet)
+            targets.append((port, [vcs[i] for i in adaptive]))
+        escape_port = self._escape_port(router, packet)
+        neighbor, dst_port = router.out_neighbors[escape_port]
+        targets.append((escape_port,
+                        [neighbor.vnet_slice(dst_port, packet.vnet)[0]]))
+        return targets

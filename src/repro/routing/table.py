@@ -1,0 +1,131 @@
+"""Up*/down* routing for irregular topologies.
+
+The classic Dally-theory solution for arbitrary graphs (used by Autonet and
+most NoC reconfiguration schemes such as ARIADNE): orient every channel
+up/down along a BFS spanning tree (the "up" end is closer to the root;
+ties break toward the smaller router id) and forbid the down->up turn.
+Every legal path is a sequence of up hops followed by down hops, which makes
+the channel dependency graph acyclic at the cost of longer, less diverse
+routes — precisely the restriction SPIN removes on irregular networks.
+
+Routing is adaptive among all *shortest legal* next hops, computed from a
+precomputed distance table over the (router, may-still-go-up) state graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.network.packet import Packet
+from repro.routing.base import RoutingAlgorithm
+
+#: Packet route_state key: set once the packet has taken a down hop.
+_WENT_DOWN = "updown_went_down"
+
+
+class UpDownRouting(RoutingAlgorithm):
+    """Adaptive shortest-path up*/down* routing on any connected topology."""
+
+    name = "UpDown"
+    minimal = False  # legal paths may exceed the unrestricted minimum
+    max_misroutes = 0
+    theory = "Dally"
+
+    def __init__(self, seed: int = 0, root: int = 0) -> None:
+        super().__init__(seed)
+        self.root = root
+        #: (router, port) -> True if the hop goes "up" (toward the root).
+        self._is_up_hop: Dict[Tuple[int, int], bool] = {}
+        #: target -> distance array indexed by router * 2 + phase
+        #: (phase 0 = may still go up, 1 = down only).
+        self._distance: Dict[int, List[int]] = {}
+
+    def _setup(self) -> None:
+        topology = self.topology
+        graph = nx.Graph()
+        graph.add_nodes_from(range(topology.num_routers))
+        for link in topology.links():
+            graph.add_edge(link.src, link.dst)
+        depth = nx.single_source_shortest_path_length(graph, self.root)
+
+        def rank(router: int) -> Tuple[int, int]:
+            return depth[router], router
+
+        for router_id in range(topology.num_routers):
+            for port, (neighbor, _, _) in topology.neighbors(router_id).items():
+                self._is_up_hop[(router_id, port)] = rank(neighbor) < rank(router_id)
+        self._distance = {}
+        self._precompute_distances()
+
+    def _precompute_distances(self) -> None:
+        """BFS per target over the (router, phase) state graph, reversed.
+
+        ``distance[target][router * 2 + phase]`` is the length of the
+        shortest legal path from ``router`` (in the given phase) to
+        ``target``; unreachable states hold a large sentinel.
+        """
+        topology = self.topology
+        num = topology.num_routers
+        infinity = num * 4 + 1
+        # Reverse edges: to relax (r, phase) we need predecessors (s, phase')
+        # such that the hop s->r is legal from phase'.
+        predecessors: List[List[int]] = [[] for _ in range(num * 2)]
+        for router_id in range(num):
+            for port, (neighbor, _, _) in topology.neighbors(router_id).items():
+                if self._is_up_hop[(router_id, port)]:
+                    # up hop: only legal from phase 0, stays in phase 0
+                    predecessors[neighbor * 2 + 0].append(router_id * 2 + 0)
+                else:
+                    # down hop: legal from both phases, lands in phase 1
+                    predecessors[neighbor * 2 + 1].append(router_id * 2 + 0)
+                    predecessors[neighbor * 2 + 1].append(router_id * 2 + 1)
+        for target in range(num):
+            dist = [infinity] * (num * 2)
+            queue = deque()
+            for phase in (0, 1):
+                dist[target * 2 + phase] = 0
+                queue.append(target * 2 + phase)
+            while queue:
+                state = queue.popleft()
+                for pred in predecessors[state]:
+                    if dist[pred] > dist[state] + 1:
+                        dist[pred] = dist[state] + 1
+                        queue.append(pred)
+            for router_id in range(num):
+                if dist[router_id * 2] >= infinity:
+                    raise RoutingError(
+                        f"up*/down* cannot reach {target} from {router_id}")
+            self._distance[target] = dist
+
+    # ------------------------------------------------------------------
+    # Routing interface
+    # ------------------------------------------------------------------
+    def on_inject(self, packet: Packet, now: int) -> None:
+        packet.route_state[_WENT_DOWN] = False
+
+    def candidate_outports(self, router, packet: Packet) -> Sequence[int]:
+        phase = 1 if packet.route_state.get(_WENT_DOWN) else 0
+        dist = self._distance[packet.routing_target]
+        here = dist[router.id * 2 + phase]
+        candidates = []
+        for port in sorted(router.out_neighbors):
+            neighbor, _ = router.out_neighbors[port]
+            up = self._is_up_hop[(router.id, port)]
+            if up and phase == 1:
+                continue
+            next_phase = 0 if up else 1
+            if dist[neighbor.id * 2 + next_phase] == here - 1:
+                candidates.append(port)
+        return tuple(candidates)
+
+    def on_hop(self, packet: Packet, router, outport: int) -> None:
+        if not self._is_up_hop[(router.id, outport)]:
+            packet.route_state[_WENT_DOWN] = True
+
+    def legal_path_length(self, src_router: int, dst_router: int) -> int:
+        """Length of the shortest legal up*/down* path (for tests/reports)."""
+        return self._distance[dst_router][src_router * 2 + 0]

@@ -1,0 +1,67 @@
+"""Turn-model routing (Glass & Ni): west-first and north-last.
+
+Turn models are the most popular direct application of Dally's theory on a
+mesh: prohibiting one turn per rotation sense makes the channel dependency
+graph acyclic while leaving partial adaptivity.  ``WestFirstRouting`` is the
+paper's mesh avoidance baseline (Table III); ``NorthLastRouting`` is included
+for the CDG analysis tests and as a second escape-function option.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.packet import Packet
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.mesh import NORTH, WEST
+
+
+class TurnModelRouting(RoutingAlgorithm):
+    """Common scaffolding for mesh turn-model algorithms."""
+
+    theory = "Dally"
+    minimal = True
+    max_misroutes = 0
+
+    def _setup(self) -> None:
+        if not hasattr(self.topology, "directions_toward"):
+            raise ConfigurationError(
+                f"{self.name} routing needs a mesh-like topology")
+
+
+class WestFirstRouting(TurnModelRouting):
+    """West-first: take all westward hops before anything else.
+
+    Once a packet stops traveling west it may route adaptively among the
+    remaining productive directions (north/east/south), none of which can
+    ever require a turn back to west on a minimal path.
+    """
+
+    name = "WestFirst"
+
+    def candidate_outports(self, router, packet: Packet) -> Sequence[int]:
+        productive = self.topology.directions_toward(
+            router.id, packet.routing_target)
+        if WEST in productive:
+            return (WEST,)
+        return tuple(productive)
+
+
+class NorthLastRouting(TurnModelRouting):
+    """North-last: a packet that turns north must keep going north.
+
+    Adaptive among productive non-north directions while any exist; north is
+    taken only when it is the sole productive direction left, after which no
+    further turns are possible on a minimal path.
+    """
+
+    name = "NorthLast"
+
+    def candidate_outports(self, router, packet: Packet) -> Sequence[int]:
+        productive = self.topology.directions_toward(
+            router.id, packet.routing_target)
+        non_north = tuple(d for d in productive if d != NORTH)
+        if non_north:
+            return non_north
+        return tuple(productive)

@@ -1,0 +1,6 @@
+"""Cycle-level simulation kernel: clock loop and deterministic RNG."""
+
+from repro.sim.rng import DeterministicRng
+from repro.sim.engine import Simulator
+
+__all__ = ["DeterministicRng", "Simulator"]

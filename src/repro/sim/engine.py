@@ -1,0 +1,103 @@
+"""The cycle loop.
+
+The simulator is deliberately simple: a :class:`Simulator` owns a current
+cycle counter and a list of components, and advances them in phase order once
+per cycle.  Components implement any subset of the phase hooks below; the
+network substrate (:mod:`repro.network.network`) is the main component and
+internally sequences its own sub-phases (SM processing, switch allocation,
+link delivery) in the order required by the SPIN implementation.
+
+Phases per cycle, in order:
+
+1. ``phase_deliver``   — in-flight flits/SMs whose arrival time is now land.
+2. ``phase_control``   — control planes run (SPIN FSMs, recovery baselines).
+3. ``phase_inject``    — traffic sources hand new packets to NICs, NICs
+   push packets into router input VCs.
+4. ``phase_allocate``  — switch allocation; granted packets start traversing.
+5. ``phase_collect``   — statistics and invariant checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+
+class Component(Protocol):
+    """Anything that participates in the cycle loop.
+
+    All hooks are optional; the simulator calls only the ones a component
+    defines.
+    """
+
+    def phase_deliver(self, cycle: int) -> None: ...
+
+    def phase_control(self, cycle: int) -> None: ...
+
+    def phase_inject(self, cycle: int) -> None: ...
+
+    def phase_allocate(self, cycle: int) -> None: ...
+
+    def phase_collect(self, cycle: int) -> None: ...
+
+
+_PHASES = (
+    "phase_deliver",
+    "phase_control",
+    "phase_inject",
+    "phase_allocate",
+    "phase_collect",
+)
+
+
+class Simulator:
+    """Advances registered components through the per-cycle phases."""
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self._components: List[object] = []
+        # Resolved (component, bound method) pairs per phase, built lazily so
+        # the hot loop does not pay getattr costs every cycle.
+        self._schedule = None
+
+    def register(self, component: object) -> None:
+        """Add a component to the cycle loop (in registration order)."""
+        self._components.append(component)
+        self._schedule = None
+
+    def _build_schedule(self):
+        schedule = []
+        for phase in _PHASES:
+            bound = [
+                getattr(component, phase)
+                for component in self._components
+                if hasattr(component, phase)
+            ]
+            schedule.append(bound)
+        return schedule
+
+    def step(self) -> None:
+        """Simulate exactly one cycle."""
+        if self._schedule is None:
+            self._schedule = self._build_schedule()
+        cycle = self.cycle
+        for bound_methods in self._schedule:
+            for method in bound_methods:
+                method(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Simulate the given number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(self, predicate, max_cycles: int) -> bool:
+        """Step until ``predicate()`` is true or ``max_cycles`` elapse.
+
+        Returns:
+            True if the predicate became true, False on cycle exhaustion.
+        """
+        for _ in range(max_cycles):
+            if predicate():
+                return True
+            self.step()
+        return predicate()

@@ -1,0 +1,12 @@
+"""Statistics collection and experiment sweeps."""
+
+from repro.stats.collectors import NetworkStats, LatencySummary
+from repro.stats.sweep import InjectionSweep, SweepPoint, run_point
+
+__all__ = [
+    "NetworkStats",
+    "LatencySummary",
+    "InjectionSweep",
+    "SweepPoint",
+    "run_point",
+]

@@ -1,0 +1,137 @@
+"""Run-time statistics.
+
+A single :class:`NetworkStats` instance per network accumulates packet
+events, SPIN control-plane events, and link utilization.  Packets created
+inside the measurement window are *measured*; latency and throughput are
+computed over measured packets only, the standard warmup/measure/drain
+methodology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class LatencySummary:
+    """Aggregate latency statistics of measured, delivered packets."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: int
+
+    @staticmethod
+    def from_samples(samples: List[int]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0)
+        ordered = sorted(samples)
+        count = len(ordered)
+
+        def pct(fraction: float) -> float:
+            return float(ordered[min(count - 1, int(fraction * count))])
+
+        return LatencySummary(
+            count=count,
+            mean=sum(ordered) / count,
+            p50=pct(0.50),
+            p95=pct(0.95),
+            p99=pct(0.99),
+            maximum=ordered[-1],
+        )
+
+
+class NetworkStats:
+    """Event counters and latency samples for one simulation."""
+
+    def __init__(self) -> None:
+        self.measure_start: Optional[int] = None
+        self.measure_end: Optional[int] = None
+        self.packets_created = 0
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        self.measured_created = 0
+        self.measured_delivered = 0
+        self.measured_flits_created = 0
+        self.measured_flits_delivered = 0
+        self.latencies: List[int] = []
+        self.network_latencies: List[int] = []
+        self.hop_counts: List[int] = []
+        #: Free-form event counters (SPIN probes, spins, recoveries, ...).
+        self.events: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Window control
+    # ------------------------------------------------------------------
+    def open_window(self, start: int, end: int) -> None:
+        """Declare the measurement window [start, end) in cycles."""
+        self.measure_start = start
+        self.measure_end = end
+
+    def in_window(self, cycle: int) -> bool:
+        """Whether a cycle falls in the measurement window."""
+        return (
+            self.measure_start is not None
+            and self.measure_start <= cycle
+            and (self.measure_end is None or cycle < self.measure_end)
+        )
+
+    # ------------------------------------------------------------------
+    # Packet events
+    # ------------------------------------------------------------------
+    def record_creation(self, packet, now: int) -> None:
+        self.packets_created += 1
+        if self.in_window(now):
+            packet.measured = True
+        if packet.measured:
+            self.measured_created += 1
+            self.measured_flits_created += packet.length
+
+    def record_injection(self, packet, now: int) -> None:
+        self.packets_injected += 1
+
+    def record_delivery(self, packet, now: int) -> None:
+        self.packets_delivered += 1
+        if packet.measured:
+            self.measured_delivered += 1
+            self.measured_flits_delivered += packet.length
+            self.latencies.append(packet.latency())
+            self.network_latencies.append(packet.network_latency())
+            self.hop_counts.append(packet.hops)
+
+    def count(self, event: str, amount: int = 1) -> None:
+        """Increment a named event counter."""
+        self.events[event] += amount
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def latency(self) -> LatencySummary:
+        """End-to-end latency (including source queueing) summary."""
+        return LatencySummary.from_samples(self.latencies)
+
+    def network_latency(self) -> LatencySummary:
+        """Router-to-router latency summary."""
+        return LatencySummary.from_samples(self.network_latencies)
+
+    def throughput(self, measure_cycles: int, num_nodes: int) -> float:
+        """Received throughput in flits/node/cycle over the window."""
+        if measure_cycles <= 0 or num_nodes <= 0:
+            return 0.0
+        return self.measured_flits_delivered / (measure_cycles * num_nodes)
+
+    def delivery_ratio(self) -> float:
+        """Fraction of measured packets that were delivered."""
+        if self.measured_created == 0:
+            return 1.0
+        return self.measured_delivered / self.measured_created
+
+    def mean_hops(self) -> float:
+        """Average hop count of measured, delivered packets."""
+        if not self.hop_counts:
+            return 0.0
+        return sum(self.hop_counts) / len(self.hop_counts)

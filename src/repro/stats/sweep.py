@@ -1,0 +1,174 @@
+"""Injection-rate sweeps: latency curves and saturation throughput.
+
+The paper's Figs. 6 and 7 are latency-vs-injection curves; the numbers it
+quotes are *saturation throughputs* — the offered load beyond which latency
+diverges.  :class:`InjectionSweep` runs one simulation per rate (fresh
+network each time), stops once saturation is passed, and reports the curve
+plus the measured saturation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import SimulationConfig
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class SweepPoint:
+    """Measurements of one simulation at one offered load."""
+
+    injection_rate: float
+    mean_latency: float
+    p99_latency: float
+    throughput: float
+    delivery_ratio: float
+    wedged: bool
+    delivered: int
+    events: Dict[str, int] = field(default_factory=dict)
+    link_utilization: Tuple[float, float, float] = (0.0, 0.0, 1.0)
+
+    def saturated(self, zero_load_latency: float,
+                  latency_cap: float = 4.0,
+                  min_delivery: float = 0.85) -> bool:
+        """Heuristic saturation test against the zero-load latency."""
+        if self.wedged:
+            return True
+        if self.delivered == 0:
+            return True
+        if self.delivery_ratio < min_delivery:
+            return True
+        return self.mean_latency > latency_cap * max(1.0, zero_load_latency)
+
+
+def run_point(network_factory: Callable[[], object],
+              traffic_factory: Callable[[object, Optional[int]], object],
+              sim_config: SimulationConfig,
+              injection_rate: float = 0.0) -> Tuple[object, SweepPoint]:
+    """Simulate one configuration at one load.
+
+    Args:
+        network_factory: Builds a fresh network.
+        traffic_factory: ``(network, stop_at) -> component`` building the
+            traffic source (already bound to the rate).
+        sim_config: Warmup/measure/drain windows, wedge threshold.
+        injection_rate: Recorded in the resulting point (informational).
+
+    Returns:
+        The simulated network (for post-hoc inspection) and its point.
+    """
+    network = network_factory()
+    simulator = Simulator()
+    stop_at = sim_config.warmup_cycles + sim_config.measure_cycles
+    traffic = traffic_factory(network, stop_at)
+    simulator.register(traffic)
+    simulator.register(network)
+    network.stats.open_window(sim_config.warmup_cycles, stop_at)
+
+    simulator.run(sim_config.warmup_cycles)
+    network.reset_link_utilization()
+
+    wedged = False
+    remaining = sim_config.measure_cycles + sim_config.drain_cycles
+    abort_after = sim_config.deadlock_abort_cycles
+    chunk = 200
+    while remaining > 0:
+        step = min(chunk, remaining)
+        simulator.run(step)
+        remaining -= step
+        if (
+            abort_after
+            and network.idle_cycles() > abort_after
+            and network.packets_in_flight() > 0
+        ):
+            wedged = True
+            break
+
+    stats = network.stats
+    latency = stats.latency()
+    point = SweepPoint(
+        injection_rate=injection_rate,
+        mean_latency=latency.mean,
+        p99_latency=latency.p99,
+        throughput=stats.throughput(sim_config.measure_cycles,
+                                    network.topology.num_nodes),
+        delivery_ratio=stats.delivery_ratio(),
+        wedged=wedged,
+        delivered=stats.measured_delivered,
+        events=dict(stats.events),
+        link_utilization=network.mean_link_utilization(),
+    )
+    return network, point
+
+
+class InjectionSweep:
+    """Sweeps offered load upward until the network saturates.
+
+    Args:
+        network_factory: Builds a fresh network per point.
+        traffic_factory: ``(network, rate, stop_at) -> component``.
+        sim_config: Per-point run windows.
+        rates: Ascending offered loads in flits/node/cycle.
+        latency_cap: Saturation multiplier on the zero-load latency.
+        points_past_saturation: Extra points to run beyond saturation (to
+            show the divergence in latency curves).
+    """
+
+    def __init__(self, network_factory, traffic_factory,
+                 sim_config: SimulationConfig, rates: List[float],
+                 latency_cap: float = 4.0,
+                 points_past_saturation: int = 0) -> None:
+        self.network_factory = network_factory
+        self.traffic_factory = traffic_factory
+        self.sim_config = sim_config
+        self.rates = list(rates)
+        self.latency_cap = latency_cap
+        self.points_past_saturation = points_past_saturation
+
+    def run(self) -> List[SweepPoint]:
+        """Simulate ascending loads; stop shortly after saturation."""
+        points: List[SweepPoint] = []
+        zero_load = None
+        extra = self.points_past_saturation
+        for rate in self.rates:
+            _, point = run_point(
+                self.network_factory,
+                lambda network, stop_at, r=rate: self.traffic_factory(
+                    network, r, stop_at),
+                self.sim_config,
+                injection_rate=rate,
+            )
+            points.append(point)
+            if zero_load is None:
+                zero_load = point.mean_latency
+            if point.saturated(zero_load, self.latency_cap):
+                if extra <= 0:
+                    break
+                extra -= 1
+        return points
+
+    def saturation_rate(self, points: List[SweepPoint]) -> float:
+        """Highest offered load sustained without saturating."""
+        if not points:
+            return 0.0
+        zero_load = points[0].mean_latency
+        sustained = 0.0
+        for point in points:
+            if point.saturated(zero_load, self.latency_cap):
+                break
+            sustained = point.injection_rate
+        return sustained
+
+    def saturation_throughput(self, points: List[SweepPoint]) -> float:
+        """Received throughput at the last non-saturated point."""
+        if not points:
+            return 0.0
+        zero_load = points[0].mean_latency
+        best = 0.0
+        for point in points:
+            if point.saturated(zero_load, self.latency_cap):
+                break
+            best = max(best, point.throughput)
+        return best

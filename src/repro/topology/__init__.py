@@ -1,0 +1,34 @@
+"""Network topologies.
+
+Every topology describes routers, bidirectional channels between router
+ports, and the attachment of terminal nodes (NICs) to routers.  The network
+substrate (:mod:`repro.network.network`) instantiates routers and links
+directly from a :class:`~repro.topology.base.Topology`.
+"""
+
+from repro.topology.base import LinkSpec, Topology
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+from repro.topology.ring import RingTopology
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fbfly import FlattenedButterflyTopology
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.irregular import (
+    IrregularTopology,
+    faulty_mesh,
+    random_regular_topology,
+)
+
+__all__ = [
+    "LinkSpec",
+    "Topology",
+    "MeshTopology",
+    "TorusTopology",
+    "RingTopology",
+    "DragonflyTopology",
+    "FlattenedButterflyTopology",
+    "FatTreeTopology",
+    "IrregularTopology",
+    "faulty_mesh",
+    "random_regular_topology",
+]

@@ -1,0 +1,38 @@
+"""Traffic patterns, generators and trace replay."""
+
+from repro.traffic.patterns import (
+    BitComplement,
+    BitReverse,
+    BitRotation,
+    Neighbor,
+    Shuffle,
+    Tornado,
+    TrafficPattern,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+)
+from repro.traffic.generator import SyntheticTraffic, PacketMix
+from repro.traffic.parsec import ParsecWorkload, PARSEC_PROFILES
+from repro.traffic.trace import TraceRecord, TraceTraffic, load_trace, save_trace
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "Transpose",
+    "Tornado",
+    "BitComplement",
+    "BitReverse",
+    "BitRotation",
+    "Shuffle",
+    "Neighbor",
+    "make_pattern",
+    "SyntheticTraffic",
+    "PacketMix",
+    "ParsecWorkload",
+    "PARSEC_PROFILES",
+    "TraceRecord",
+    "TraceTraffic",
+    "load_trace",
+    "save_trace",
+]

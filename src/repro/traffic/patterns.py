@@ -1,0 +1,211 @@
+"""Synthetic traffic patterns (Dally & Towles conventions).
+
+These are the patterns of the paper's evaluation: uniform random, transpose,
+tornado, neighbor, bit complement, bit reverse and bit rotation.  Each
+pattern maps a source terminal to a destination terminal; the permutation
+patterns are deterministic, uniform random draws from the supplied RNG.
+
+Bit-oriented patterns require a power-of-two node count; transpose and
+tornado have both a grid form (used when the mesh dimensions are known) and
+a bit/ring form.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import DeterministicRng
+
+
+def _bits_of(num_nodes: int) -> int:
+    bits = num_nodes.bit_length() - 1
+    if 1 << bits != num_nodes:
+        raise ConfigurationError(
+            f"pattern needs a power-of-two node count (got {num_nodes})")
+    return bits
+
+
+class TrafficPattern(ABC):
+    """Maps source terminals to destination terminals."""
+
+    name = "pattern"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ConfigurationError("patterns need at least 2 nodes")
+        self.num_nodes = num_nodes
+
+    @abstractmethod
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        """Destination for a packet from ``src``.
+
+        Returns None when the source generates no traffic under this
+        pattern (a self-addressed permutation slot).
+        """
+
+    def _checked(self, dst: int, src: int) -> Optional[int]:
+        return None if dst == src else dst
+
+
+class UniformRandom(TrafficPattern):
+    """Every destination equally likely (excluding the source)."""
+
+    name = "uniform"
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        dst = rng.randint(0, self.num_nodes - 2)
+        return dst if dst < src else dst + 1
+
+
+class BitComplement(TrafficPattern):
+    """dst = ~src (bitwise complement), i.e. ``n - 1 - src``.
+
+    The complement form is well defined for any node count (the paper's
+    1056-terminal dragonfly is not a power of two either); only the
+    shift-based patterns below need power-of-two addressing.
+    """
+
+    name = "bit_complement"
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        return self._checked(self.num_nodes - 1 - src, src)
+
+
+class BitReverse(TrafficPattern):
+    """dst = bit-reversal of src."""
+
+    name = "bit_reverse"
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        self.bits = _bits_of(num_nodes)
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        dst = 0
+        value = src
+        for _ in range(self.bits):
+            dst = (dst << 1) | (value & 1)
+            value >>= 1
+        return self._checked(dst, src)
+
+
+class BitRotation(TrafficPattern):
+    """dst = src rotated right by one bit."""
+
+    name = "bit_rotation"
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        self.bits = _bits_of(num_nodes)
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        dst = (src >> 1) | ((src & 1) << (self.bits - 1))
+        return self._checked(dst, src)
+
+
+class Shuffle(TrafficPattern):
+    """dst = src rotated left by one bit (perfect shuffle)."""
+
+    name = "shuffle"
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        self.bits = _bits_of(num_nodes)
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        dst = ((src << 1) | (src >> (self.bits - 1))) & (self.num_nodes - 1)
+        return self._checked(dst, src)
+
+
+class Transpose(TrafficPattern):
+    """Matrix transpose: (x, y) -> (y, x) on a grid, or bit-half swap."""
+
+    name = "transpose"
+
+    def __init__(self, num_nodes: int, cols: Optional[int] = None) -> None:
+        super().__init__(num_nodes)
+        self.cols = cols
+        if cols is not None:
+            if num_nodes % cols:
+                raise ConfigurationError("num_nodes must divide into rows")
+            self.rows = num_nodes // cols
+            if self.rows != cols:
+                raise ConfigurationError("grid transpose needs a square grid")
+        else:
+            bits = _bits_of(num_nodes)
+            if bits % 2:
+                raise ConfigurationError(
+                    "bit transpose needs an even number of address bits")
+            self.half = bits // 2
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        if self.cols is not None:
+            x, y = src % self.cols, src // self.cols
+            return self._checked(x * self.cols + y, src)
+        low = src & ((1 << self.half) - 1)
+        high = src >> self.half
+        return self._checked((low << self.half) | high, src)
+
+
+class Tornado(TrafficPattern):
+    """Half-way-around traffic: maximal adversarial load on one dimension.
+
+    With grid dimensions, each node sends half-way across the X dimension
+    within its row (the paper's mesh tornado).  Without, it is the classic
+    ring tornado ``dst = src + ceil(n/2) - 1 mod n``.
+    """
+
+    name = "tornado"
+
+    def __init__(self, num_nodes: int, cols: Optional[int] = None) -> None:
+        super().__init__(num_nodes)
+        self.cols = cols
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        if self.cols is not None:
+            x, y = src % self.cols, src // self.cols
+            dst_x = (x + self.cols // 2) % self.cols
+            return self._checked(y * self.cols + dst_x, src)
+        offset = (self.num_nodes + 1) // 2 - 1
+        if offset == 0:
+            offset = 1
+        return self._checked((src + offset) % self.num_nodes, src)
+
+
+class Neighbor(TrafficPattern):
+    """dst = src + 1 (mod n): the VC-use-restriction stressor of Fig. 6."""
+
+    name = "neighbor"
+
+    def dest(self, src: int, rng: DeterministicRng) -> Optional[int]:
+        return (src + 1) % self.num_nodes
+
+
+_PATTERNS = {
+    cls.name: cls
+    for cls in (UniformRandom, BitComplement, BitReverse, BitRotation,
+                Shuffle, Transpose, Tornado, Neighbor)
+}
+
+
+def make_pattern(name: str, num_nodes: int,
+                 cols: Optional[int] = None) -> TrafficPattern:
+    """Construct a pattern by name.
+
+    Args:
+        name: One of uniform, bit_complement, bit_reverse, bit_rotation,
+            shuffle, transpose, tornado, neighbor.
+        num_nodes: Terminal count of the network.
+        cols: Grid width, consumed by the grid forms of transpose/tornado.
+    """
+    try:
+        cls = _PATTERNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pattern {name!r}; choose from {sorted(_PATTERNS)}"
+        ) from None
+    if cls in (Transpose, Tornado):
+        return cls(num_nodes, cols)
+    return cls(num_nodes)

@@ -1,0 +1,189 @@
+"""Shared test fixtures and deadlock-crafting helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.config import NetworkConfig, SimulationConfig, SpinParams
+from repro.network.network import Network
+from repro.network.packet import Packet
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.ring import CLOCKWISE, COUNTER_CLOCKWISE, RingTopology
+
+
+def make_mesh_network(side: int = 4, vcs: int = 1, routing=None,
+                      spin: Optional[SpinParams] = None, seed: int = 1,
+                      num_vnets: int = 1) -> Network:
+    """A small mesh network with minimal adaptive routing by default."""
+    return Network(
+        topology=MeshTopology(side, side),
+        config=NetworkConfig(vcs_per_vnet=vcs, num_vnets=num_vnets),
+        routing=routing or MinimalAdaptiveRouting(seed),
+        spin=spin,
+        seed=seed,
+    )
+
+
+def make_ring_network(m: int = 6, vcs: int = 1,
+                      spin: Optional[SpinParams] = None,
+                      seed: int = 1) -> Network:
+    """A bidirectional ring network with minimal adaptive routing."""
+    return Network(
+        topology=RingTopology(m),
+        config=NetworkConfig(vcs_per_vnet=vcs),
+        routing=MinimalAdaptiveRouting(seed),
+        spin=spin,
+        seed=seed,
+    )
+
+
+def craft_ring_deadlock(network: Network, dst_ahead: int = 2,
+                        length: int = 1) -> List[Packet]:
+    """Plant a clockwise deadlocked ring on a RingTopology network.
+
+    Puts one packet in the counter-clockwise input VC of every router,
+    destined ``dst_ahead`` routers clockwise, so each packet's only minimal
+    request is the clockwise port — whose downstream VC holds the next
+    packet.  With a single VC this is a textbook cyclic buffer dependency.
+
+    Args:
+        network: A network over :class:`RingTopology` with 1 VC per vnet.
+        dst_ahead: Clockwise distance to each packet's destination; must be
+            at least 2 and at most floor(m/2) so the clockwise direction is
+            the unique minimal path.
+        length: Packet length in flits.
+
+    Returns:
+        The planted packets, in ring order.
+    """
+    topology: RingTopology = network.topology
+    m = topology.num_routers
+    assert 2 <= dst_ahead <= m // 2, "clockwise must be uniquely minimal"
+    packets = []
+    for router_id in range(m):
+        dst_router = (router_id + dst_ahead) % m
+        packet = Packet(
+            src_node=(router_id - 1) % m,
+            dst_node=dst_router,
+            src_router=(router_id - 1) % m,
+            dst_router=dst_router,
+            length=length,
+            create_cycle=0,
+        )
+        packet.inject_cycle = 0
+        router = network.routers[router_id]
+        vc = router.inports[COUNTER_CLOCKWISE][0]
+        vc.reserve(packet, now=0, link_latency=0, router_latency=0)
+        vc.head_arrival = 0
+        vc.ready_at = 0
+        vc.tail_arrival = 0
+        network.note_vc_reserved(router)
+        network.stats.record_creation(packet, 0)
+        packets.append(packet)
+    return packets
+
+
+def _plant_packet(network: Network, router_id: int, inport: int,
+                  dst_router: int, length: int = 1,
+                  vc_index: int = 0, now: int = 0) -> Packet:
+    """Place a fully-arrived packet directly into a router input VC."""
+    packet = Packet(
+        src_node=router_id, dst_node=dst_router, src_router=router_id,
+        dst_router=dst_router, length=length, create_cycle=now)
+    packet.inject_cycle = now
+    router = network.routers[router_id]
+    vc = router.inports[inport][vc_index]
+    vc.free_at = min(vc.free_at, now)
+    vc.reserve(packet, now=now, link_latency=0, router_latency=0)
+    vc.head_arrival = now
+    vc.ready_at = now
+    vc.tail_arrival = now
+    network.note_vc_reserved(router)
+    network.stats.record_creation(packet, now)
+    return packet
+
+
+def craft_square_deadlock(network: Network, length: int = 1) -> List[Packet]:
+    """Plant a 4-packet clockwise deadlock on the (1,1)-(2,2) mesh square.
+
+    Each packet's destination lies two hops straight ahead, so under
+    minimal routing its unique productive port is the next clockwise edge
+    of the square — a textbook cyclic buffer dependency (paper Fig. 2).
+    Requires a >= 4x4 mesh with 1 VC per vnet.
+    """
+    from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+
+    mesh: MeshTopology = network.topology
+    at = mesh.router_at
+    spec = [
+        # (router, inport holding the packet, destination 2 hops ahead)
+        (at(1, 1), SOUTH, at(3, 1)),   # wants EAST
+        (at(2, 1), WEST, at(2, 3)),    # wants SOUTH
+        (at(2, 2), NORTH, at(0, 2)),   # wants WEST
+        (at(1, 2), EAST, at(1, 0)),    # wants NORTH
+    ]
+    return [
+        _plant_packet(network, router, inport, dst, length)
+        for router, inport, dst in spec
+    ]
+
+
+def craft_figure8_deadlock(network: Network) -> List[Packet]:
+    """Plant a single figure-8 dependency chain crossing router (1,1).
+
+    Two 4-router loops share router (1,1); the chain enters it twice via
+    different inports (paper Fig. 5(b)).  Requires a >= 4x4 mesh, 1 VC.
+    """
+    from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+
+    mesh: MeshTopology = network.topology
+    at = mesh.router_at
+    spec = [
+        # Lower-right loop, feeding into the upper-left loop at (1,1).
+        (at(1, 1), SOUTH, at(1, 0)),   # crossover entry 1: wants NORTH
+        (at(1, 0), SOUTH, at(0, 0)),   # wants WEST
+        (at(0, 0), EAST, at(0, 2)),    # wants SOUTH
+        (at(0, 1), NORTH, at(2, 1)),   # wants EAST -> back into (1,1)
+        (at(1, 1), WEST, at(3, 1)),    # crossover entry 2: wants EAST
+        (at(2, 1), WEST, at(2, 3)),    # wants SOUTH
+        (at(2, 2), NORTH, at(0, 2)),   # wants WEST
+        (at(1, 2), EAST, at(1, 0)),    # wants NORTH -> back into (1,1)
+    ]
+    return [
+        _plant_packet(network, router, inport, dst)
+        for router, inport, dst in spec
+    ]
+
+
+def simulate(network: Network, cycles: int,
+             traffic=None) -> Simulator:
+    """Run a network (and optional traffic source) for some cycles."""
+    simulator = Simulator()
+    if traffic is not None:
+        simulator.register(traffic)
+    simulator.register(network)
+    simulator.run(cycles)
+    return simulator
+
+
+@pytest.fixture
+def mesh4() -> Network:
+    """A 4x4 1-VC mesh with minimal adaptive routing, no SPIN."""
+    return make_mesh_network()
+
+
+@pytest.fixture
+def mesh4_spin() -> Network:
+    """A 4x4 1-VC mesh with minimal adaptive routing and SPIN (tDD=32)."""
+    return make_mesh_network(spin=SpinParams(tdd=32))
+
+
+@pytest.fixture
+def sim_config_short() -> SimulationConfig:
+    """A short warmup/measure/drain window for integration tests."""
+    return SimulationConfig(warmup_cycles=200, measure_cycles=1500,
+                            drain_cycles=1500, deadlock_abort_cycles=1000)

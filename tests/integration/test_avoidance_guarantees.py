@@ -1,0 +1,100 @@
+"""Avoidance designs must never deadlock — at any load, ever.
+
+The recovery designs are allowed to deadlock (they then recover); the
+Dally/Duato/flow-control designs must make deadlock impossible.  These
+tests hammer each avoidance design far beyond saturation and check the
+ground-truth oracle every few hundred cycles.
+"""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.deadlock.bubble import BubbleFlowControlRouting
+from repro.deadlock.waitgraph import has_deadlock
+from repro.harness.configs import build_network
+from repro.network.network import Network
+from repro.routing.dor import DimensionOrderRouting
+from repro.sim.engine import Simulator
+from repro.topology.torus import TorusTopology
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def hammer(network, rate=0.6, cycles=3000, seed=13, cols=None):
+    network.stats.open_window(0, cycles)
+    traffic = SyntheticTraffic(
+        network, make_pattern("uniform", network.topology.num_nodes,
+                              cols=cols),
+        rate, seed=seed, stop_at=cycles, mix=PacketMix.single(1))
+    sim = Simulator()
+    sim.register(traffic)
+    sim.register(network)
+    for _ in range(cycles // 300):
+        sim.run(300)
+        assert not has_deadlock(network, sim.cycle), (
+            f"avoidance design deadlocked at cycle {sim.cycle}")
+    return network
+
+
+class TestAvoidanceNeverDeadlocks:
+    @pytest.mark.parametrize("design", [
+        "mesh:westfirst-1vc",
+        "mesh:westfirst-3vc",
+        "mesh:escapevc-2vc",
+        "mesh:escapevc-3vc",
+    ])
+    def test_mesh_avoidance_under_hammer(self, design):
+        network = build_network(design, seed=13, mesh_side=4)
+        hammer(network, cols=4)
+
+    def test_dragonfly_dally_ugal_under_hammer(self):
+        network = build_network("dfly:ugal-dally-3vc", seed=13,
+                                dragonfly=(2, 4, 2))
+        hammer(network, rate=0.5)
+
+    def test_torus_bubble_under_hammer(self):
+        network = Network(TorusTopology(4, 4), NetworkConfig(vcs_per_vnet=1),
+                          BubbleFlowControlRouting(13), seed=13)
+        hammer(network, cols=None)
+
+    def test_torus_dor_without_bubble_is_the_counterexample(self):
+        # Sanity: the hammer is strong enough that removing the bubble
+        # protection does deadlock the torus.
+        network = Network(TorusTopology(4, 4), NetworkConfig(vcs_per_vnet=1),
+                          DimensionOrderRouting(13), seed=13)
+        network.stats.open_window(0, 3000)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.6, seed=13,
+            stop_at=3000, mix=PacketMix.single(1))
+        sim = Simulator()
+        sim.register(traffic)
+        sim.register(network)
+        deadlocked = False
+        for _ in range(10):
+            sim.run(300)
+            if has_deadlock(network, sim.cycle):
+                deadlocked = True
+                break
+        assert deadlocked
+
+
+class TestRecoveryDesignsRecover:
+    @pytest.mark.parametrize("design", [
+        "mesh:staticbubble-2vc",
+        "mesh:minadaptive-spin-1vc",
+    ])
+    def test_recovery_design_never_stays_deadlocked(self, design):
+        network = build_network(design, seed=13, mesh_side=4, tdd=24)
+        network.stats.open_window(0, 1000)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.5, seed=13,
+            stop_at=1000, mix=PacketMix.single(1))
+        sim = Simulator()
+        sim.register(traffic)
+        sim.register(network)
+        sim.run(1000)
+        # Deadlocks may exist transiently; after the load stops and ample
+        # recovery time passes, none may remain.
+        sim.run(9000)
+        assert not has_deadlock(network, sim.cycle)
+        assert network.idle_cycles() < 9000  # recovery made progress

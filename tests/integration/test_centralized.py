@@ -1,0 +1,123 @@
+"""Tests for the centralized SPIN reference implementation (Sec. III)."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.core.centralized import CentralizedSpinPlane
+from repro.deadlock.waitgraph import has_deadlock
+from repro.errors import ConfigurationError
+from repro.network.network import Network
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.ring import RingTopology
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import craft_figure8_deadlock, craft_ring_deadlock, craft_square_deadlock
+
+
+def centralized_network(topology=None, check_period=16, seed=1):
+    return Network(topology or MeshTopology(4, 4),
+                   NetworkConfig(vcs_per_vnet=1),
+                   MinimalAdaptiveRouting(seed),
+                   control_planes=(CentralizedSpinPlane(check_period),),
+                   seed=seed)
+
+
+class TestValidation:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            CentralizedSpinPlane(check_period=0)
+
+
+class TestRecovery:
+    def test_ring_deadlock_resolved_within_bound(self):
+        network = centralized_network(RingTopology(6))
+        packets = craft_ring_deadlock(network, dst_ahead=2)
+        sim = Simulator()
+        sim.register(network)
+        done = sim.run_until(
+            lambda: network.stats.packets_delivered == len(packets),
+            max_cycles=500)
+        assert done
+        # Theorem bound holds here too.
+        assert max(p.spins for p in packets) <= 5
+        assert network.control_planes[0].spins_performed >= 1
+
+    def test_square_deadlock_resolved(self):
+        network = centralized_network()
+        packets = craft_square_deadlock(network)
+        sim = Simulator()
+        sim.register(network)
+        done = sim.run_until(
+            lambda: network.stats.packets_delivered == len(packets),
+            max_cycles=800)
+        assert done
+
+    def test_figure8_resolved(self):
+        network = centralized_network()
+        packets = craft_figure8_deadlock(network)
+        sim = Simulator()
+        sim.register(network)
+        done = sim.run_until(
+            lambda: network.stats.packets_delivered == len(packets),
+            max_cycles=1500)
+        assert done
+
+    def test_no_spins_without_deadlock(self):
+        network = centralized_network(seed=5)
+        network.stats.open_window(0, 1500)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.05, seed=5,
+            stop_at=1500, mix=PacketMix.single(1))
+        sim = Simulator()
+        sim.register(traffic)
+        sim.register(network)
+        sim.run(3000)
+        assert network.control_planes[0].spins_performed == 0
+        assert network.is_drained()
+
+    def test_sustained_load_conserved(self):
+        network = centralized_network(seed=7)
+        network.stats.open_window(0, 1000)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.3, seed=7,
+            stop_at=1000, mix=PacketMix.single(1))
+        sim = Simulator()
+        sim.register(traffic)
+        sim.register(network)
+        sim.run(12000)
+        stats = network.stats
+        assert stats.packets_created == (
+            stats.packets_delivered + network.packets_in_flight()
+            + network.total_backlog())
+        assert not has_deadlock(network, sim.cycle)
+
+
+class TestRecoveryLatencyBound:
+    def test_faster_than_distributed(self):
+        # The centralized oracle needs no probes/moves: first spin within
+        # one check period plus epsilon, versus tDD + 3x loop for the
+        # distributed protocol.
+        from repro.config import SpinParams
+
+        def first_spin_cycle(make):
+            network = make()
+            craft_ring_deadlock(network, dst_ahead=2)
+            sim = Simulator()
+            sim.register(network)
+            event = "spins" if network.spin is not None else "centralized_spins"
+            done = sim.run_until(
+                lambda: network.stats.events.get(event, 0) >= 1,
+                max_cycles=2000)
+            assert done
+            return sim.cycle
+
+        centralized = first_spin_cycle(
+            lambda: centralized_network(RingTopology(6), check_period=16))
+        distributed = first_spin_cycle(
+            lambda: Network(RingTopology(6), NetworkConfig(vcs_per_vnet=1),
+                            MinimalAdaptiveRouting(1),
+                            spin=SpinParams(tdd=16), seed=1))
+        assert centralized <= distributed

@@ -1,0 +1,139 @@
+"""Tests for proactive spinning (the paper's footnote-3 avoidance mode)."""
+
+import pytest
+
+from repro.config import NetworkConfig, SpinParams
+from repro.core.proactive import ProactiveSpinPlane
+from repro.deadlock.waitgraph import has_deadlock
+from repro.errors import ConfigurationError
+from repro.network.network import Network
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.ring import RingTopology
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import craft_ring_deadlock, craft_square_deadlock
+
+
+def proactive_network(topology=None, stall_threshold=32, period=8, seed=1):
+    return Network(topology or MeshTopology(4, 4),
+                   NetworkConfig(vcs_per_vnet=1),
+                   MinimalAdaptiveRouting(seed),
+                   control_planes=(ProactiveSpinPlane(stall_threshold,
+                                                      period),),
+                   seed=seed)
+
+
+class TestChainConstruction:
+    def test_chain_covers_every_router(self):
+        network = proactive_network()
+        plane = network.control_planes[0]
+        routers = {router for router, _, _ in plane._chain}
+        assert routers == set(range(16))
+
+    def test_chain_buffers_are_unique(self):
+        network = proactive_network()
+        plane = network.control_planes[0]
+        buffers = [(r, p) for r, p, _ in plane._chain]
+        assert len(buffers) == len(set(buffers))
+
+    def test_chain_is_contiguous_walk(self):
+        network = proactive_network()
+        plane = network.control_planes[0]
+        chain = plane._chain
+        for i, (router, _inport, outport) in enumerate(chain):
+            neighbor, dst_inport = (
+                network.routers[router].out_neighbors[outport])
+            next_router, next_inport, _ = chain[(i + 1) % len(chain)]
+            assert neighbor.id == next_router
+            assert dst_inport == next_inport
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            ProactiveSpinPlane(stall_threshold=0)
+
+
+class TestDrainResolvesDeadlocks:
+    def test_crafted_square_deadlock_cleared_without_probes(self):
+        network = proactive_network(stall_threshold=16)
+        packets = craft_square_deadlock(network)
+        sim = Simulator()
+        sim.register(network)
+        sim.run(2)
+        assert has_deadlock(network, sim.cycle)
+        done = sim.run_until(
+            lambda: network.stats.packets_delivered == len(packets),
+            max_cycles=6000)
+        assert done, dict(network.stats.events)
+        plane = network.control_planes[0]
+        assert plane.drains_performed >= 1
+        # No reactive machinery ran at all.
+        assert network.stats.events.get("probes_sent", 0) == 0
+
+    def test_ring_deadlock_cleared(self):
+        network = Network(RingTopology(6), NetworkConfig(vcs_per_vnet=1),
+                          MinimalAdaptiveRouting(1),
+                          control_planes=(ProactiveSpinPlane(16, 8),),
+                          seed=1)
+        packets = craft_ring_deadlock(network, dst_ahead=2)
+        sim = Simulator()
+        sim.register(network)
+        done = sim.run_until(
+            lambda: network.stats.packets_delivered == len(packets),
+            max_cycles=8000)
+        assert done, dict(network.stats.events)
+
+    def test_sustained_load_stays_live(self):
+        network = proactive_network(stall_threshold=32, seed=5)
+        network.stats.open_window(0, 1000)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.3, seed=5,
+            stop_at=1000, mix=PacketMix.single(1))
+        sim = Simulator()
+        sim.register(traffic)
+        sim.register(network)
+        sim.run(15000)
+        stats = network.stats
+        assert stats.packets_created == (
+            stats.packets_delivered + network.packets_in_flight()
+            + network.total_backlog())
+        assert network.is_drained(), (
+            network.packets_in_flight(), network.total_backlog())
+
+    def test_no_drains_at_light_load(self):
+        network = proactive_network(stall_threshold=64, seed=3)
+        network.stats.open_window(0, 2000)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.05, seed=3,
+            stop_at=2000, mix=PacketMix.single(1))
+        sim = Simulator()
+        sim.register(traffic)
+        sim.register(network)
+        sim.run(4000)
+        assert network.control_planes[0].drains_performed == 0
+        assert network.is_drained()
+
+
+class TestCoexistenceWithReactiveSpin:
+    def test_both_planes_together(self):
+        # Proactive drains coexist with the reactive framework: frozen VCs
+        # are skipped by the drain, and neither loses packets.
+        network = Network(MeshTopology(4, 4), NetworkConfig(vcs_per_vnet=1),
+                          MinimalAdaptiveRouting(7),
+                          spin=SpinParams(tdd=48),
+                          control_planes=(ProactiveSpinPlane(96, 16),),
+                          seed=7)
+        network.stats.open_window(0, 1000)
+        traffic = SyntheticTraffic(
+            network, make_pattern("uniform", 16), 0.3, seed=7,
+            stop_at=1000, mix=PacketMix.single(1))
+        sim = Simulator()
+        sim.register(traffic)
+        sim.register(network)
+        sim.run(12000)
+        stats = network.stats
+        assert stats.packets_created == (
+            stats.packets_delivered + network.packets_in_flight()
+            + network.total_backlog())

@@ -1,0 +1,105 @@
+"""Property-based tests on end-to-end datapath and SPIN invariants.
+
+The invariants every random scenario must satisfy:
+
+* conservation — created == delivered + resident + queued, no duplicates;
+* integrity — a delivered packet was ejected at its destination NIC, its
+  latency covers at least its hop count, minimal algorithms never misroute;
+* spin safety — the theorem bound holds for random deadlocked rings, and no
+  VC remains frozen after the dust settles.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SpinParams
+from repro.sim.engine import Simulator
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import craft_ring_deadlock, make_mesh_network, make_ring_network
+
+
+def run_traffic(network, rate, seed, inject_cycles, total_cycles,
+                pattern="uniform"):
+    network.stats.open_window(0, inject_cycles)
+    traffic = SyntheticTraffic(
+        network, make_pattern(pattern, network.topology.num_nodes), rate,
+        seed=seed, stop_at=inject_cycles, mix=PacketMix.single(1))
+    sim = Simulator()
+    sim.register(traffic)
+    sim.register(network)
+    sim.run(total_cycles)
+    return sim
+
+
+class TestConservation:
+    @given(seed=st.integers(0, 1000), rate=st.floats(0.02, 0.25),
+           vcs=st.integers(1, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_nothing_lost_or_duplicated_with_spin(self, seed, rate, vcs):
+        network = make_mesh_network(side=4, vcs=vcs,
+                                    spin=SpinParams(tdd=24), seed=seed)
+        run_traffic(network, rate, seed, inject_cycles=600,
+                    total_cycles=6000)
+        stats = network.stats
+        resident = network.packets_in_flight()
+        queued = network.total_backlog()
+        assert stats.packets_created == (
+            stats.packets_delivered + resident + queued)
+        # Each VC holds a distinct packet (no duplication by spins).
+        uids = [vc.packet.uid for _, _, vc in network.occupied_vcs()]
+        assert len(uids) == len(set(uids))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=8, deadline=None)
+    def test_low_load_always_fully_drains(self, seed):
+        network = make_mesh_network(side=4, vcs=1,
+                                    spin=SpinParams(tdd=24), seed=seed)
+        run_traffic(network, 0.05, seed, inject_cycles=800,
+                    total_cycles=4000)
+        assert network.is_drained()
+        assert network.stats.delivery_ratio() == 1.0
+
+
+class TestDeliveryIntegrity:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=8, deadline=None)
+    def test_latency_at_least_hops_and_no_misroutes(self, seed):
+        network = make_mesh_network(side=4, vcs=2,
+                                    spin=SpinParams(tdd=24), seed=seed)
+        run_traffic(network, 0.10, seed, inject_cycles=800,
+                    total_cycles=4000)
+        stats = network.stats
+        for hops, latency in zip(stats.hop_counts, stats.network_latencies):
+            assert latency >= hops
+        # Minimal adaptive: hop counts equal the Manhattan distance, so the
+        # mean can never undercut it.
+        assert stats.mean_hops() >= 1.0
+
+
+class TestSpinTheoremRandomized:
+    @given(m=st.integers(4, 12), seed=st.integers(0, 100))
+    @settings(max_examples=12, deadline=None)
+    def test_random_ring_resolves_within_bound(self, m, seed):
+        dst_ahead = 2 + seed % max(1, (m // 2) - 1)
+        network = make_ring_network(m=m, spin=SpinParams(tdd=8), seed=seed)
+        packets = craft_ring_deadlock(network, dst_ahead=dst_ahead)
+        sim = Simulator()
+        sim.register(network)
+        done = sim.run_until(
+            lambda: network.stats.packets_delivered == len(packets),
+            max_cycles=6000)
+        assert done
+        assert max(p.spins for p in packets) <= m - 1
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_no_frozen_leftovers_after_quiescence(self, seed):
+        network = make_mesh_network(side=4, vcs=1,
+                                    spin=SpinParams(tdd=16), seed=seed)
+        run_traffic(network, 0.30, seed, inject_cycles=400,
+                    total_cycles=8000)
+        if network.is_drained():
+            assert network.spin.frozen_vc_count() == 0
+            assert network.spin.executor.pending_spins() == 0

@@ -1,0 +1,119 @@
+"""Property-based tests on topologies, patterns and the RNG."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import DeterministicRng
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.mesh import MeshTopology
+from repro.topology.ring import RingTopology
+from repro.topology.torus import TorusTopology
+from repro.traffic.patterns import (
+    BitComplement,
+    BitReverse,
+    BitRotation,
+    Shuffle,
+    Tornado,
+    Transpose,
+)
+
+
+class TestTopologyProperties:
+    @given(cols=st.integers(2, 7), rows=st.integers(2, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_mesh_structurally_valid(self, cols, rows):
+        mesh = MeshTopology(cols, rows)
+        mesh.validate()
+        # Hop metric: symmetric, zero on diagonal, triangle inequality.
+        a, b, c = 0, mesh.num_routers // 2, mesh.num_routers - 1
+        assert mesh.min_hops(a, b) == mesh.min_hops(b, a)
+        assert mesh.min_hops(a, a) == 0
+        assert mesh.min_hops(a, c) <= mesh.min_hops(a, b) + mesh.min_hops(b, c)
+
+    @given(cols=st.integers(3, 6), rows=st.integers(3, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_torus_hops_never_exceed_mesh(self, cols, rows):
+        torus = TorusTopology(cols, rows)
+        mesh = MeshTopology(cols, rows)
+        torus.validate()
+        for src in range(0, torus.num_routers, 3):
+            for dst in range(0, torus.num_routers, 3):
+                assert torus.min_hops(src, dst) <= mesh.min_hops(src, dst)
+
+    @given(p=st.integers(1, 3), a=st.integers(2, 5), h=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_dragonfly_structurally_valid(self, p, a, h):
+        dfly = DragonflyTopology(p, a, h)
+        dfly.validate()
+        # Canonical minimal path bounds the graph distance by 3.
+        for src in range(0, dfly.num_routers, max(1, dfly.num_routers // 5)):
+            for dst in range(0, dfly.num_routers,
+                             max(1, dfly.num_routers // 5)):
+                assert dfly.min_hops(src, dst) <= 3
+
+    @given(m=st.integers(3, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_ring_diameter(self, m):
+        ring = RingTopology(m)
+        ring.validate()
+        assert max(ring.min_hops(0, d) for d in range(m)) == m // 2
+
+
+class TestPatternProperties:
+    @given(bits=st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_bit_patterns_are_partial_permutations(self, bits):
+        n = 1 << bits
+        rng = DeterministicRng(0)
+        for cls in (BitComplement, BitReverse, BitRotation, Shuffle):
+            pattern = cls(n)
+            images = [pattern.dest(src, rng) for src in range(n)]
+            defined = [d for d in images if d is not None]
+            assert len(defined) == len(set(defined)), cls.name
+            assert all(0 <= d < n for d in defined)
+            # None only ever encodes a self-map.
+            for src, dst in enumerate(images):
+                assert dst != src
+
+    @given(side=st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_grid_transpose_involution(self, side):
+        pattern = Transpose(side * side, cols=side)
+        rng = DeterministicRng(0)
+        for src in range(side * side):
+            dst = pattern.dest(src, rng)
+            if dst is not None:
+                assert pattern.dest(dst, rng) == src
+
+    @given(side=st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_tornado_constant_distance(self, side):
+        pattern = Tornado(side * side, cols=side)
+        rng = DeterministicRng(0)
+        deltas = set()
+        for src in range(side * side):
+            dst = pattern.dest(src, rng)
+            if dst is not None:
+                deltas.add((dst % side - src % side) % side)
+        assert len(deltas) == 1
+
+
+class TestRngProperties:
+    @given(seed=st.integers(0, 2**31 - 1), label=st.text(min_size=1,
+                                                         max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_fork_reproducible(self, seed, label):
+        a = DeterministicRng(seed).fork(label)
+        b = DeterministicRng(seed).fork(label)
+        assert [a.randint(0, 100) for _ in range(5)] == [
+            b.randint(0, 100) for _ in range(5)]
+
+    @given(seed=st.integers(0, 2**31 - 1), low=st.integers(-50, 50),
+           span=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_randint_in_bounds(self, seed, low, span):
+        rng = DeterministicRng(seed)
+        for _ in range(20):
+            value = rng.randint(low, low + span)
+            assert low <= value <= low + span

@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_designs_command(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh:favors-min-spin-1vc" in out
+        assert "dfly:ugal-dally-3vc" in out
+
+    def test_run_requires_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--design", "x"])
+
+    def test_area_command(self, capsys):
+        assert main(["area", "--radix", "5", "--vcs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "router area" in out
+        assert "SPIN modules" in out
+
+
+class TestRunCommand:
+    def test_small_run(self, capsys):
+        code = main([
+            "run", "--design", "mesh:favors-min-spin-1vc",
+            "--pattern", "uniform", "--rate", "0.05",
+            "--mesh-side", "4", "--warmup", "100", "--measure", "500",
+            "--drain", "500", "--tdd", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out
+        assert "delivery ratio" in out
+
+    def test_unknown_design_fails_loudly(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "--design", "mesh:bogus", "--rate", "0.1"])
+
+
+class TestSweepCommand:
+    def test_small_sweep(self, capsys):
+        code = main([
+            "sweep", "--design", "mesh:westfirst-3vc",
+            "--pattern", "uniform", "--rates", "0.05,0.3",
+            "--mesh-side", "4", "--warmup", "100", "--measure", "400",
+            "--drain", "300",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation rate" in out

@@ -1,0 +1,107 @@
+"""Unit tests for the deflection-routing (Table I) baseline."""
+
+import pytest
+
+from repro.deflection.network import DeflectionNetwork
+from repro.errors import ConfigurationError
+from repro.sim.rng import DeterministicRng
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+from repro.traffic.patterns import make_pattern
+
+
+def drive(network, rate, cycles, inject_until=None, seed=3, pattern=None):
+    """Bernoulli single-flit traffic on a deflection network."""
+    rng = DeterministicRng(seed)
+    pattern = pattern or make_pattern(
+        "uniform", network.topology.num_nodes)
+    inject_until = inject_until if inject_until is not None else cycles
+    for cycle in range(cycles):
+        if cycle < inject_until:
+            for node in range(network.topology.num_nodes):
+                if rng.bernoulli(rate):
+                    dst = pattern.dest(node, rng)
+                    if dst is not None:
+                        network.offer(node, dst, cycle)
+        network.step()
+    return network
+
+
+class TestBasics:
+    def test_single_flit_delivery(self):
+        network = DeflectionNetwork(MeshTopology(4, 4), seed=1)
+        network.stats.open_window(0, None)
+        network.offer(0, 15, 0)
+        network.run(50)
+        assert network.stats.packets_delivered == 1
+        assert network.is_drained()
+
+    def test_unloaded_flit_routes_minimally(self):
+        network = DeflectionNetwork(MeshTopology(4, 4), seed=1)
+        network.stats.open_window(0, None)
+        network.offer(0, 15, 0)
+        network.run(50)
+        assert network.stats.hop_counts == [6]
+
+    def test_rejects_self_addressed(self):
+        network = DeflectionNetwork(MeshTopology(4, 4))
+        with pytest.raises(ConfigurationError):
+            network.offer(3, 3, 0)
+
+
+class TestDeadlockFreedomByConstruction:
+    @pytest.mark.parametrize("rate", [0.05, 0.2, 0.4])
+    def test_never_wedges_at_any_load(self, rate):
+        network = DeflectionNetwork(MeshTopology(4, 4), seed=2)
+        network.stats.open_window(0, 1000)
+        drive(network, rate, cycles=1000, inject_until=600)
+        before = network.stats.packets_delivered
+        network.run(3000)
+        # Flits always move: everything in the network eventually ejects.
+        assert network.flits_in_network() == 0
+        assert network.stats.packets_delivered >= before
+
+    def test_conservation(self):
+        network = DeflectionNetwork(MeshTopology(4, 4), seed=4)
+        network.stats.open_window(0, None)
+        drive(network, 0.2, cycles=800, inject_until=500)
+        network.run(3000)
+        stats = network.stats
+        assert stats.packets_delivered + network.backlog() == (
+            stats.packets_created)
+
+
+class TestDeflectionBehaviour:
+    def test_deflections_appear_under_load(self):
+        network = DeflectionNetwork(MeshTopology(4, 4), seed=5)
+        network.stats.open_window(0, None)
+        drive(network, 0.35, cycles=1500, inject_until=1500)
+        assert network.total_deflections > 0
+
+    def test_no_deflections_at_trivial_load(self):
+        network = DeflectionNetwork(MeshTopology(4, 4), seed=5)
+        network.stats.open_window(0, None)
+        network.offer(0, 15, 0)
+        network.offer(15, 0, 0)
+        network.run(60)
+        assert network.total_deflections == 0
+
+    def test_latency_exceeds_buffered_at_high_load(self):
+        # Table I / Sec. II-D: deflection pays higher latency when loaded.
+        network = DeflectionNetwork(MeshTopology(4, 4), seed=6)
+        network.stats.open_window(0, 2000)
+        drive(network, 0.30, cycles=2000, inject_until=1200)
+        network.run(2000)
+        low = DeflectionNetwork(MeshTopology(4, 4), seed=6)
+        low.stats.open_window(0, 2000)
+        drive(low, 0.02, cycles=2000, inject_until=1200)
+        low.run(2000)
+        assert network.stats.latency().mean > low.stats.latency().mean
+
+    def test_works_on_torus(self):
+        network = DeflectionNetwork(TorusTopology(4, 4), seed=7)
+        network.stats.open_window(0, None)
+        drive(network, 0.15, cycles=800, inject_until=500)
+        network.run(2000)
+        assert network.flits_in_network() == 0
+        assert network.stats.packets_delivered > 0

@@ -1,0 +1,81 @@
+"""Unit tests for the cycle-loop simulator kernel."""
+
+from repro.sim.engine import Simulator
+
+
+class Recorder:
+    """Component recording which phases ran at which cycle."""
+
+    def __init__(self, log, name):
+        self.log = log
+        self.name = name
+
+    def phase_deliver(self, cycle):
+        self.log.append((cycle, self.name, "deliver"))
+
+    def phase_control(self, cycle):
+        self.log.append((cycle, self.name, "control"))
+
+    def phase_allocate(self, cycle):
+        self.log.append((cycle, self.name, "allocate"))
+
+
+class InjectOnly:
+    def __init__(self, log):
+        self.log = log
+
+    def phase_inject(self, cycle):
+        self.log.append((cycle, "inject-only", "inject"))
+
+
+class TestPhaseOrdering:
+    def test_phases_run_in_order_within_cycle(self):
+        log = []
+        sim = Simulator()
+        sim.register(Recorder(log, "a"))
+        sim.register(InjectOnly(log))
+        sim.step()
+        phases = [entry[2] for entry in log]
+        assert phases == ["deliver", "control", "inject", "allocate"]
+
+    def test_components_run_in_registration_order(self):
+        log = []
+        sim = Simulator()
+        sim.register(Recorder(log, "first"))
+        sim.register(Recorder(log, "second"))
+        sim.step()
+        controls = [e[1] for e in log if e[2] == "control"]
+        assert controls == ["first", "second"]
+
+    def test_cycle_counter_advances(self):
+        sim = Simulator()
+        sim.run(5)
+        assert sim.cycle == 5
+
+    def test_missing_hooks_are_skipped(self):
+        sim = Simulator()
+        sim.register(object())
+        sim.run(3)  # must not raise
+        assert sim.cycle == 3
+
+    def test_register_after_running_rebuilds_schedule(self):
+        log = []
+        sim = Simulator()
+        sim.register(Recorder(log, "a"))
+        sim.step()
+        sim.register(Recorder(log, "b"))
+        sim.step()
+        cycle1 = [e for e in log if e[0] == 1]
+        assert any(e[1] == "b" for e in cycle1)
+
+
+class TestRunUntil:
+    def test_stops_when_predicate_true(self):
+        sim = Simulator()
+        assert sim.run_until(lambda: sim.cycle >= 4, max_cycles=100)
+        assert sim.cycle == 4
+
+    def test_returns_false_on_exhaustion(self):
+        sim = Simulator()
+        assert not sim.run_until(lambda: False, max_cycles=10)
+        assert sim.cycle == 10

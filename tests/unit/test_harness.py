@@ -1,0 +1,112 @@
+"""Unit tests for the experiment harness: Table I data, Table III configs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.configs import (
+    ALL_DESIGNS,
+    DRAGONFLY_DESIGNS,
+    MESH_DESIGNS,
+    build_network,
+    get_design,
+)
+from repro.harness.tables import format_table
+from repro.harness.theories import TABLE_I, spin_row
+
+
+class TestTableI:
+    def test_five_theories(self):
+        assert [row.theory for row in TABLE_I] == [
+            "Dally's Theory", "Duato's Theory", "Flow Control",
+            "Deflection Routing", "SPIN"]
+
+    def test_spin_row_matches_paper(self):
+        row = spin_row()
+        assert not row.injection_restrictions
+        assert not row.acyclic_cdg_required
+        assert not row.topology_dependent
+        assert row.vc_fully_adaptive_mesh == 1
+        assert row.vc_fully_adaptive_dragonfly == 1
+        assert row.livelock_freedom_cost == "None"
+
+    def test_spin_has_least_vc_cost(self):
+        spin = spin_row()
+        for row in TABLE_I[:-1]:
+            if row.vc_fully_adaptive_mesh is not None and row.vc_fully_adaptive_mesh > 0:
+                assert spin.vc_fully_adaptive_mesh <= row.vc_fully_adaptive_mesh
+
+    def test_deflection_cannot_do_minimal_deterministic(self):
+        deflection = TABLE_I[3]
+        assert deflection.vc_min_deterministic_mesh is None
+
+    def test_dally_fully_adaptive_mesh_costs_six(self):
+        assert TABLE_I[0].vc_fully_adaptive_mesh == 6
+
+
+class TestDesignRegistry:
+    def test_paper_table3_designs_present(self):
+        expected = [
+            "dfly:ugal-dally-3vc",      # UGAL, Dally avoidance
+            "dfly:minimal-spin-1vc",    # Minimal + SPIN recovery
+            "dfly:favors-nmin-spin-1vc",
+            "mesh:westfirst-3vc",       # Dally avoidance
+            "mesh:escapevc-3vc",        # Duato avoidance
+            "mesh:staticbubble-3vc",    # FlowCtrl recovery
+            "mesh:favors-min-spin-1vc",
+        ]
+        for name in expected:
+            assert name in ALL_DESIGNS
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_design("mesh:nonexistent")
+
+    def test_spin_designs_get_control_plane(self):
+        network = build_network("mesh:favors-min-spin-1vc", mesh_side=4)
+        assert network.spin is not None
+
+    def test_avoidance_designs_have_no_spin(self):
+        network = build_network("mesh:westfirst-3vc", mesh_side=4)
+        assert network.spin is None
+
+    def test_static_bubble_gets_its_plane(self):
+        from repro.deadlock.static_bubble import StaticBubbleControlPlane
+
+        network = build_network("mesh:staticbubble-3vc", mesh_side=4)
+        assert any(isinstance(p, StaticBubbleControlPlane)
+                   for p in network.control_planes)
+
+    def test_vc_counts_respected(self):
+        network = build_network("mesh:escapevc-2vc", mesh_side=4)
+        assert network.config.vcs_per_vnet == 2
+
+    def test_dragonfly_designs_build(self):
+        for name in DRAGONFLY_DESIGNS:
+            network = build_network(name, dragonfly=(2, 4, 2))
+            assert network.topology.name == "dragonfly"
+
+    def test_mesh_designs_build(self):
+        for name in MESH_DESIGNS:
+            network = build_network(name, mesh_side=4)
+            assert network.topology.name == "mesh"
+
+    def test_tdd_override(self):
+        network = build_network("mesh:minadaptive-spin-1vc", mesh_side=4,
+                                tdd=17)
+        assert network.spin.params.tdd == 17
+
+
+class TestTableFormatting:
+    def test_basic_render(self):
+        table = format_table(["a", "bee"], [[1, 2.5], [None, True]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert "2.500" in lines[3]
+        assert "-" in lines[4] and "yes" in lines[4]
+
+    def test_alignment(self):
+        table = format_table(["col"], [["x"], ["longer"]])
+        lines = table.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])

@@ -1,0 +1,115 @@
+"""Unit tests for synthetic traffic patterns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import DeterministicRng
+from repro.traffic.patterns import (
+    BitComplement,
+    BitReverse,
+    BitRotation,
+    Neighbor,
+    Shuffle,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRng(0)
+
+
+class TestUniform:
+    def test_never_self(self, rng):
+        pattern = UniformRandom(16)
+        assert all(pattern.dest(5, rng) != 5 for _ in range(300))
+
+    def test_covers_all_destinations(self, rng):
+        pattern = UniformRandom(8)
+        seen = {pattern.dest(0, rng) for _ in range(400)}
+        assert seen == set(range(1, 8))
+
+
+class TestPermutations:
+    def test_bit_complement(self, rng):
+        pattern = BitComplement(16)
+        assert pattern.dest(0, rng) == 15
+        assert pattern.dest(5, rng) == 10
+
+    def test_bit_complement_is_involution(self, rng):
+        pattern = BitComplement(64)
+        for src in range(64):
+            dst = pattern.dest(src, rng)
+            assert pattern.dest(dst, rng) == src
+
+    def test_bit_reverse(self, rng):
+        pattern = BitReverse(16)
+        assert pattern.dest(0b0001, rng) == 0b1000
+        # 0110 reversed is 0110 -> self-addressed, returns None
+        assert pattern.dest(0b0110, rng) is None
+
+    def test_bit_reverse_is_involution(self, rng):
+        pattern = BitReverse(64)
+        for src in range(64):
+            dst = pattern.dest(src, rng)
+            if dst is not None:
+                assert pattern.dest(dst, rng) == src
+
+    def test_rotation_and_shuffle_are_inverses(self, rng):
+        rotate = BitRotation(32)
+        shuffle = Shuffle(32)
+        for src in range(32):
+            dst = rotate.dest(src, rng)
+            if dst is not None:
+                assert shuffle.dest(dst, rng) in (src, None)
+
+    def test_grid_transpose(self, rng):
+        pattern = Transpose(16, cols=4)
+        # node (x=1, y=2) = 9 -> (x=2, y=1) = 6
+        assert pattern.dest(9, rng) == 6
+        assert pattern.dest(5, rng) is None  # diagonal
+
+    def test_bit_transpose(self, rng):
+        pattern = Transpose(16)
+        # swap bit halves: 0b0111 -> 0b1101
+        assert pattern.dest(0b0111, rng) == 0b1101
+
+    def test_transpose_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            Transpose(12, cols=4)
+
+    def test_tornado_grid_distance(self, rng):
+        pattern = Tornado(16, cols=4)
+        for src in range(16):
+            dst = pattern.dest(src, rng)
+            assert dst is not None
+            assert dst // 4 == src // 4  # same row
+            assert (dst % 4 - src % 4) % 4 == 2  # half-way across x
+
+    def test_tornado_ring(self, rng):
+        pattern = Tornado(8)
+        assert pattern.dest(0, rng) == 3
+
+    def test_neighbor(self, rng):
+        pattern = Neighbor(10)
+        assert pattern.dest(9, rng) == 0
+        assert pattern.dest(3, rng) == 4
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("uniform", "bit_complement", "bit_reverse",
+                     "bit_rotation", "shuffle", "transpose", "tornado",
+                     "neighbor"):
+            assert make_pattern(name, 16, cols=4).num_nodes == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("zipf", 16)
+
+    def test_power_of_two_required_for_bit_patterns(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("bit_reverse", 12)

@@ -1,0 +1,136 @@
+"""Unit tests for the analytical area/power model.
+
+Every assertion here is an anchor from the paper; together they make the
+calibration of DESIGN.md substitution note 3 falsifiable.
+"""
+
+import pytest
+
+from repro.power.model import AreaModel, EnergyModel, RouterSpec, network_edp, network_energy
+from repro.power.modules import SPIN_MODULES, loop_buffer_bits, loop_buffer_flits
+
+MESH_RADIX = 5       # 4 network ports + 1 local
+DRAGONFLY_RADIX = 16  # 7 local + 4 global + 4 terminals (p=4,a=8,h=4), rounded
+
+
+def reduction(a, b):
+    """Fractional reduction of a relative to b."""
+    return 1.0 - a / b
+
+
+class TestPaperAreaAnchors:
+    def test_mesh_1vc_vs_3vc(self):
+        model = AreaModel()
+        r = reduction(model.router_area(RouterSpec(MESH_RADIX, 1)),
+                      model.router_area(RouterSpec(MESH_RADIX, 3)))
+        assert r == pytest.approx(0.52, abs=0.02)  # paper: 52%
+
+    def test_mesh_1vc_vs_2vc(self):
+        model = AreaModel()
+        r = reduction(model.router_area(RouterSpec(MESH_RADIX, 1)),
+                      model.router_area(RouterSpec(MESH_RADIX, 2)))
+        assert r == pytest.approx(0.36, abs=0.02)  # paper: 36%
+
+    def test_dragonfly_1vc_vs_3vc(self):
+        model = AreaModel()
+        r = reduction(model.router_area(RouterSpec(DRAGONFLY_RADIX, 1)),
+                      model.router_area(RouterSpec(DRAGONFLY_RADIX, 3)))
+        assert r == pytest.approx(0.53, abs=0.02)  # paper: 53%
+
+
+class TestPaperPowerAnchors:
+    def test_mesh_1vc_vs_3vc(self):
+        model = EnergyModel()
+        r = reduction(model.router_power(RouterSpec(MESH_RADIX, 1)),
+                      model.router_power(RouterSpec(MESH_RADIX, 3)))
+        assert r == pytest.approx(0.50, abs=0.02)  # paper: 50%
+
+    def test_mesh_1vc_vs_2vc(self):
+        model = EnergyModel()
+        r = reduction(model.router_power(RouterSpec(MESH_RADIX, 1)),
+                      model.router_power(RouterSpec(MESH_RADIX, 2)))
+        assert r == pytest.approx(0.34, abs=0.02)  # paper: 34%
+
+    def test_dragonfly_1vc_vs_3vc(self):
+        model = EnergyModel()
+        r = reduction(model.router_power(RouterSpec(DRAGONFLY_RADIX, 1)),
+                      model.router_power(RouterSpec(DRAGONFLY_RADIX, 3)))
+        assert r == pytest.approx(0.55, abs=0.02)  # paper: 55%
+
+
+class TestFigure10Anchors:
+    def overhead(self, design):
+        model = AreaModel()
+        spec = RouterSpec(MESH_RADIX, 3)
+        return model.design_area(design, spec) / model.design_area(
+            "westfirst", spec) - 1.0
+
+    def test_spin_four_percent(self):
+        assert self.overhead("spin") == pytest.approx(0.04, abs=0.01)
+
+    def test_static_bubble_ten_percent(self):
+        assert self.overhead("static_bubble") == pytest.approx(0.10, abs=0.01)
+
+    def test_escape_vc_hundred_percent(self):
+        assert self.overhead("escape_vc") == pytest.approx(1.00, abs=0.05)
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(ValueError):
+            AreaModel().design_area("bogus", RouterSpec(5, 3))
+
+
+class TestSpinModules:
+    def test_table_ii_modules(self):
+        names = [m.name for m in SPIN_MODULES]
+        assert names == ["FSM", "Probe Manager", "Move Manager", "Loop Buffer"]
+
+    def test_loop_buffer_formula(self):
+        # log2(radix) x N bits: 64-router mesh, radix 5 -> 3 bits -> 192.
+        assert loop_buffer_bits(5, 64) == 3 * 64
+
+    def test_loop_buffer_about_one_flit_for_64_mesh(self):
+        # The paper: "1-flit deep assuming 128-bit links".
+        depth = loop_buffer_flits(5, 64, flit_bits=128)
+        assert 1.0 <= depth <= 2.0
+
+
+class TestScaling:
+    def test_area_monotone_in_vcs(self):
+        model = AreaModel()
+        areas = [model.router_area(RouterSpec(5, v)) for v in (1, 2, 3, 4)]
+        assert areas == sorted(areas)
+
+    def test_area_monotone_in_depth(self):
+        model = AreaModel()
+        assert model.router_area(RouterSpec(5, 2, buffer_depth=10)) > (
+            model.router_area(RouterSpec(5, 2, buffer_depth=5)))
+
+    def test_wider_flits_cost_more(self):
+        model = AreaModel()
+        assert model.router_area(RouterSpec(5, 2, flit_bits=256)) > (
+            model.router_area(RouterSpec(5, 2, flit_bits=128)))
+
+
+class TestEnergyAccounting:
+    def test_network_energy_counts_flit_hops(self):
+        from tests.conftest import make_mesh_network
+
+        network = make_mesh_network()
+        network.stats.count("flit_hops", 100)
+        spec = RouterSpec(5, 1)
+        with_traffic = network_energy(network, spec, cycles=1000)
+        network.stats.events["flit_hops"] = 0
+        without = network_energy(network, spec, cycles=1000)
+        assert with_traffic > without
+
+    def test_edp_scales_with_latency(self):
+        from tests.conftest import make_mesh_network
+
+        network = make_mesh_network()
+        network.stats.count("flit_hops", 100)
+        network.stats.latencies.extend([10] * 10)
+        spec = RouterSpec(5, 1)
+        low = network_edp(network, spec, cycles=1000)
+        network.stats.latencies[:] = [100] * 10
+        high = network_edp(network, spec, cycles=1000)
+        assert high == pytest.approx(10 * low)

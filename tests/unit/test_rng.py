@@ -1,0 +1,56 @@
+"""Unit tests for the deterministic RNG."""
+
+from repro.sim.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+    def test_fork_is_independent_of_parent_draw_count(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        for _ in range(100):
+            a.random()  # advance only one parent
+        assert a.fork("x").random() == b.fork("x").random()
+
+    def test_fork_labels_differ(self):
+        rng = DeterministicRng(7)
+        assert rng.fork("x").random() != rng.fork("y").random()
+
+
+class TestDraws:
+    def test_randint_inclusive_bounds(self):
+        rng = DeterministicRng(3)
+        values = {rng.randint(0, 2) for _ in range(200)}
+        assert values == {0, 1, 2}
+
+    def test_choice_covers_items(self):
+        rng = DeterministicRng(3)
+        items = ["a", "b", "c"]
+        assert {rng.choice(items) for _ in range(100)} == set(items)
+
+    def test_choice_or_none_empty(self):
+        assert DeterministicRng(1).choice_or_none([]) is None
+
+    def test_choice_or_none_nonempty(self):
+        assert DeterministicRng(1).choice_or_none([5]) == 5
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(1)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(9)
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items

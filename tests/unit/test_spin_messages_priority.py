@@ -1,0 +1,98 @@
+"""Unit tests for SPIN special messages and rotating priority."""
+
+from repro.core.messages import (
+    KillMoveMessage,
+    MoveMessage,
+    ProbeMessage,
+    ProbeMoveMessage,
+)
+from repro.core.priority import RotatingPriority
+
+
+class TestMessageClassPriorities:
+    def test_paper_ordering(self):
+        # probe_move > move = kill_move > probe (Sec. IV-C1)
+        probe = ProbeMessage(sender=0, send_cycle=0)
+        move = MoveMessage(sender=0, send_cycle=0)
+        kill = KillMoveMessage(sender=0, send_cycle=0)
+        probe_move = ProbeMoveMessage(sender=0, send_cycle=0)
+        assert probe_move.class_priority > move.class_priority
+        assert move.class_priority == kill.class_priority
+        assert move.class_priority > probe.class_priority
+
+    def test_kinds(self):
+        assert ProbeMessage(0, 0).kind == "probe"
+        assert MoveMessage(0, 0).kind == "move"
+        assert ProbeMoveMessage(0, 0).kind == "probe_move"
+        assert KillMoveMessage(0, 0).kind == "kill_move"
+
+
+class TestProbePath:
+    def test_fork_appends_outport(self):
+        probe = ProbeMessage(sender=3, send_cycle=10)
+        forked = probe.forked(2).forked(0)
+        assert forked.path == (2, 0)
+        assert forked.sender == 3
+        assert forked.send_cycle == 10
+
+    def test_fork_does_not_mutate_original(self):
+        probe = ProbeMessage(sender=3, send_cycle=10)
+        probe.forked(1)
+        assert probe.path == ()
+
+
+class TestMovePath:
+    def test_advanced_strips_head_and_bumps_index(self):
+        move = MoveMessage(sender=1, send_cycle=5, path=(2, 3, 0),
+                           spin_cycle=40, hop_index=1)
+        nxt = move.advanced()
+        assert nxt.path == (3, 0)
+        assert nxt.hop_index == 2
+        assert nxt.spin_cycle == 40
+        assert move.first_port == 2
+        assert nxt.first_port == 3
+
+    def test_messages_are_immutable(self):
+        move = MoveMessage(sender=1, send_cycle=5, path=(2,))
+        try:
+            move.path = (9,)
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestRotatingPriority:
+    def test_initial_priorities_are_ids(self):
+        prio = RotatingPriority(num_routers=8, epoch_length=100)
+        assert [prio.dynamic_priority(r, 0) for r in range(8)] == list(range(8))
+
+    def test_rotation_after_epoch(self):
+        prio = RotatingPriority(num_routers=8, epoch_length=100)
+        assert prio.dynamic_priority(0, 100) == 1
+        assert prio.dynamic_priority(7, 100) == 0
+
+    def test_every_router_eventually_highest(self):
+        prio = RotatingPriority(num_routers=5, epoch_length=10)
+        winners = {prio.highest_priority_router(epoch * 10)
+                   for epoch in range(5)}
+        assert winners == set(range(5))
+
+    def test_highest_matches_dynamic(self):
+        prio = RotatingPriority(num_routers=6, epoch_length=13)
+        for cycle in (0, 13, 26, 77, 130):
+            top = prio.highest_priority_router(cycle)
+            values = [prio.dynamic_priority(r, cycle) for r in range(6)]
+            assert values[top] == max(values) == 5
+
+    def test_cycles_until_highest(self):
+        prio = RotatingPriority(num_routers=4, epoch_length=10)
+        for router in range(4):
+            wait = prio.cycles_until_highest(router, 0)
+            assert prio.highest_priority_router(wait) == router
+
+    def test_priorities_distinct_within_cycle(self):
+        prio = RotatingPriority(num_routers=9, epoch_length=7)
+        for cycle in (0, 7, 50):
+            values = [prio.dynamic_priority(r, cycle) for r in range(9)]
+            assert sorted(values) == list(range(9))

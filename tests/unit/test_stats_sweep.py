@@ -1,0 +1,146 @@
+"""Unit tests for statistics collection and injection sweeps."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.network.packet import Packet
+from repro.stats.collectors import LatencySummary, NetworkStats
+from repro.stats.sweep import InjectionSweep, SweepPoint, run_point
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import make_mesh_network
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_percentiles(self):
+        summary = LatencySummary.from_samples(list(range(1, 101)))
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == 51
+        assert summary.p99 == 100
+        assert summary.maximum == 100
+
+
+class TestNetworkStats:
+    def _packet(self, length=2):
+        packet = Packet(0, 1, 0, 1, length=length, create_cycle=10)
+        return packet
+
+    def test_window_marks_measured(self):
+        stats = NetworkStats()
+        stats.open_window(100, 200)
+        inside = self._packet()
+        outside = self._packet()
+        stats.record_creation(inside, 150)
+        stats.record_creation(outside, 250)
+        assert inside.measured and not outside.measured
+        assert stats.measured_created == 1
+
+    def test_delivery_accounting(self):
+        stats = NetworkStats()
+        stats.open_window(0, 100)
+        packet = self._packet(length=3)
+        stats.record_creation(packet, 50)
+        packet.inject_cycle = 55
+        packet.eject_cycle = 70
+        stats.record_delivery(packet, 70)
+        assert stats.measured_flits_delivered == 3
+        assert stats.latencies == [60]
+        assert stats.network_latencies == [15]
+        assert stats.delivery_ratio() == 1.0
+
+    def test_throughput(self):
+        stats = NetworkStats()
+        stats.open_window(0, 100)
+        for _ in range(10):
+            packet = self._packet(length=5)
+            stats.record_creation(packet, 10)
+            packet.inject_cycle = 11
+            packet.eject_cycle = 30
+            stats.record_delivery(packet, 30)
+        assert stats.throughput(measure_cycles=100, num_nodes=5) == pytest.approx(0.1)
+
+    def test_event_counter(self):
+        stats = NetworkStats()
+        stats.count("spins")
+        stats.count("spins", 4)
+        assert stats.events["spins"] == 5
+
+
+def _traffic_factory(network, rate, stop_at):
+    return SyntheticTraffic(network, make_pattern("uniform", 16), rate,
+                            seed=4, stop_at=stop_at,
+                            mix=PacketMix.single(1))
+
+
+class TestRunPoint:
+    def test_low_load_point(self):
+        sim_config = SimulationConfig(warmup_cycles=200, measure_cycles=1000,
+                                      drain_cycles=800)
+        network, point = run_point(
+            lambda: make_mesh_network(side=4, vcs=2),
+            lambda net, stop: _traffic_factory(net, 0.05, stop),
+            sim_config, injection_rate=0.05)
+        assert point.delivery_ratio == 1.0
+        assert not point.wedged
+        assert 4 < point.mean_latency < 30
+        assert point.throughput == pytest.approx(0.05, rel=0.25)
+
+    def test_wedge_detection(self):
+        sim_config = SimulationConfig(warmup_cycles=100, measure_cycles=1500,
+                                      drain_cycles=1500,
+                                      deadlock_abort_cycles=600)
+        network, point = run_point(
+            lambda: make_mesh_network(side=4, vcs=1),  # no SPIN: deadlocks
+            lambda net, stop: _traffic_factory(net, 0.45, stop),
+            sim_config, injection_rate=0.45)
+        assert point.wedged
+
+
+class TestInjectionSweep:
+    def test_sweep_stops_after_saturation(self):
+        sim_config = SimulationConfig(warmup_cycles=200, measure_cycles=800,
+                                      drain_cycles=500)
+        sweep = InjectionSweep(
+            lambda: make_mesh_network(side=4, vcs=2),
+            _traffic_factory,
+            sim_config,
+            rates=[0.02, 0.1, 0.2, 0.3, 0.4, 0.6, 0.9],
+        )
+        points = sweep.run()
+        assert 2 <= len(points) <= 7
+        saturation = sweep.saturation_rate(points)
+        assert 0.02 <= saturation < 0.9
+
+    def test_saturation_monotone_in_vcs(self):
+        sim_config = SimulationConfig(warmup_cycles=200, measure_cycles=800,
+                                      drain_cycles=500)
+
+        def saturation(vcs):
+            sweep = InjectionSweep(
+                lambda: make_mesh_network(side=4, vcs=vcs),
+                _traffic_factory, sim_config,
+                rates=[0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5])
+            return sweep.saturation_rate(sweep.run())
+
+        # More VCs -> at least as much sustainable load (deadlocks aside,
+        # low-load points here stay below deadlock formation).
+        assert saturation(3) >= saturation(1)
+
+
+class TestSweepPoint:
+    def test_saturated_flags(self):
+        good = SweepPoint(0.1, 20.0, 40.0, 0.1, 1.0, False, 100)
+        assert not good.saturated(zero_load_latency=15.0)
+        slow = SweepPoint(0.5, 200.0, 400.0, 0.2, 1.0, False, 100)
+        assert slow.saturated(zero_load_latency=15.0)
+        lossy = SweepPoint(0.5, 20.0, 40.0, 0.2, 0.5, False, 100)
+        assert lossy.saturated(zero_load_latency=15.0)
+        wedged = SweepPoint(0.5, 20.0, 40.0, 0.2, 1.0, True, 100)
+        assert wedged.saturated(zero_load_latency=15.0)

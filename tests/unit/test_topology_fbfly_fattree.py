@@ -1,0 +1,102 @@
+"""Unit tests for the flattened butterfly and fat tree topologies."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.fbfly import FlattenedButterflyTopology
+
+
+class TestFlattenedButterfly:
+    def test_structure(self):
+        fbfly = FlattenedButterflyTopology(4)
+        fbfly.validate()
+        assert fbfly.num_routers == 16
+        # Radix: (k-1) row + (k-1) column peers.
+        assert all(fbfly.radix(r) == 6 for r in range(16))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(TopologyError):
+            FlattenedButterflyTopology(1)
+
+    def test_concentration(self):
+        fbfly = FlattenedButterflyTopology(3, concentration=2)
+        assert fbfly.num_nodes == 18
+        assert fbfly.router_of_node(5) == 2
+
+    def test_diameter_two(self):
+        fbfly = FlattenedButterflyTopology(4)
+        for src in range(16):
+            for dst in range(16):
+                assert fbfly.min_hops(src, dst) <= 2
+
+    def test_min_hops_matches_bfs(self):
+        fbfly = FlattenedButterflyTopology(3)
+        bfs = fbfly._all_pairs_hops()
+        for src in range(9):
+            for dst in range(9):
+                assert fbfly.min_hops(src, dst) == bfs[src][dst]
+
+    def test_row_and_column_ports(self):
+        fbfly = FlattenedButterflyTopology(4)
+        router = fbfly.router_at(2, 1)
+        row_peer = fbfly.router_at(0, 1)
+        port = fbfly.row_port_to(router, 0)
+        neighbor, _, _ = fbfly.neighbors(router)[port]
+        assert neighbor == row_peer
+        col_peer = fbfly.router_at(2, 3)
+        port = fbfly.column_port_to(router, 3)
+        neighbor, _, _ = fbfly.neighbors(router)[port]
+        assert neighbor == col_peer
+
+    def test_self_port_rejected(self):
+        fbfly = FlattenedButterflyTopology(4)
+        with pytest.raises(TopologyError):
+            fbfly.row_port_to(fbfly.router_at(2, 1), 2)
+
+
+class TestFatTree:
+    def test_structure(self):
+        tree = FatTreeTopology(num_leaves=4, num_spines=2,
+                               terminals_per_leaf=2)
+        tree.validate()
+        assert tree.num_routers == 6
+        assert tree.num_nodes == 8
+        assert tree.radix(0) == 2      # leaf: one port per spine
+        assert tree.radix(tree.spine_id(0)) == 4  # spine: one per leaf
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(1, 1)
+
+    def test_terminals_only_on_leaves(self):
+        tree = FatTreeTopology(4, 2, terminals_per_leaf=3)
+        assert all(tree.is_leaf(tree.router_of_node(n))
+                   for n in range(tree.num_nodes))
+
+    def test_min_hops(self):
+        tree = FatTreeTopology(4, 2)
+        assert tree.min_hops(0, 1) == 2          # leaf -> spine -> leaf
+        assert tree.min_hops(0, tree.spine_id(1)) == 1
+        assert tree.min_hops(tree.spine_id(0), tree.spine_id(1)) == 2
+
+    def test_min_hops_matches_bfs(self):
+        tree = FatTreeTopology(4, 3)
+        bfs = tree._all_pairs_hops()
+        for src in range(tree.num_routers):
+            for dst in range(tree.num_routers):
+                assert tree.min_hops(src, dst) == bfs[src][dst]
+
+    def test_path_diversity_equals_spines(self):
+        # Every spine is a productive first hop between distinct leaves.
+        from repro.config import NetworkConfig
+        from repro.network.network import Network
+        from repro.network.packet import Packet
+        from repro.routing.adaptive import MinimalAdaptiveRouting
+
+        tree = FatTreeTopology(4, 3, terminals_per_leaf=1)
+        network = Network(tree, NetworkConfig(vcs_per_vnet=1),
+                          MinimalAdaptiveRouting(0))
+        packet = Packet(0, 2, 0, 2, 1)
+        ports = network.routing.candidate_outports(network.routers[0], packet)
+        assert len(ports) == 3

@@ -1,0 +1,105 @@
+"""Unit tests for the 2-D mesh topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.mesh import (
+    DIRECTIONS, EAST, NORTH, OPPOSITE, SOUTH, WEST, MeshTopology,
+)
+
+
+class TestStructure:
+    def test_router_count(self):
+        assert MeshTopology(8, 8).num_routers == 64
+
+    def test_one_terminal_per_router(self):
+        mesh = MeshTopology(3, 4)
+        assert mesh.num_nodes == 12
+        assert all(mesh.router_of_node(n) == n for n in range(12))
+
+    def test_validate_passes(self):
+        MeshTopology(5, 3).validate()
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(TopologyError):
+            MeshTopology(1, 8)
+
+    def test_corner_router_has_two_ports(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.radix(0) == 2  # top-left corner
+
+    def test_interior_router_has_four_ports(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.radix(mesh.router_at(1, 1)) == 4
+
+    def test_edge_router_has_three_ports(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.radix(mesh.router_at(1, 0)) == 3
+
+    def test_link_count(self):
+        # 2 * (cols-1) * rows + 2 * cols * (rows-1) directed links.
+        mesh = MeshTopology(4, 4)
+        assert len(mesh.links()) == 2 * 3 * 4 + 2 * 4 * 3
+
+
+class TestGeometry:
+    def test_coordinates_roundtrip(self):
+        mesh = MeshTopology(5, 3)
+        for router in range(mesh.num_routers):
+            x, y = mesh.coordinates(router)
+            assert mesh.router_at(x, y) == router
+
+    def test_neighbor_directions(self):
+        mesh = MeshTopology(4, 4)
+        center = mesh.router_at(1, 1)
+        assert mesh.neighbor_in(center, NORTH) == mesh.router_at(1, 0)
+        assert mesh.neighbor_in(center, SOUTH) == mesh.router_at(1, 2)
+        assert mesh.neighbor_in(center, EAST) == mesh.router_at(2, 1)
+        assert mesh.neighbor_in(center, WEST) == mesh.router_at(0, 1)
+
+    def test_edges_have_no_outside_neighbor(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.neighbor_in(0, NORTH) is None
+        assert mesh.neighbor_in(0, WEST) is None
+
+    def test_ports_pair_with_opposites(self):
+        mesh = MeshTopology(4, 4)
+        for link in mesh.links():
+            assert link.dst_port == OPPOSITE[link.src_port]
+
+    def test_min_hops_is_manhattan(self):
+        mesh = MeshTopology(8, 8)
+        assert mesh.min_hops(mesh.router_at(0, 0), mesh.router_at(7, 7)) == 14
+        assert mesh.min_hops(3, 3) == 0
+
+    def test_min_hops_matches_bfs(self):
+        mesh = MeshTopology(4, 3)
+        bfs = mesh._all_pairs_hops()
+        for src in range(mesh.num_routers):
+            for dst in range(mesh.num_routers):
+                assert mesh.min_hops(src, dst) == bfs[src][dst]
+
+
+class TestProductiveDirections:
+    def test_toward_southeast(self):
+        mesh = MeshTopology(4, 4)
+        dirs = mesh.directions_toward(mesh.router_at(0, 0), mesh.router_at(2, 2))
+        assert set(dirs) == {EAST, SOUTH}
+
+    def test_toward_self_is_empty(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.directions_toward(5, 5) == []
+
+    def test_every_direction_constant_is_distinct(self):
+        assert len(set(DIRECTIONS)) == 4
+
+    def test_productive_dirs_reduce_distance(self):
+        mesh = MeshTopology(5, 5)
+        for src in range(mesh.num_routers):
+            for dst in range(mesh.num_routers):
+                if src == dst:
+                    continue
+                for direction in mesh.directions_toward(src, dst):
+                    neighbor = mesh.neighbor_in(src, direction)
+                    assert neighbor is not None
+                    assert mesh.min_hops(neighbor, dst) == mesh.min_hops(src, dst) - 1

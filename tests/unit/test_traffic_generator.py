@@ -1,0 +1,179 @@
+"""Unit tests for synthetic traffic generation, PARSEC proxy and traces."""
+
+import pytest
+
+from repro.config import SpinParams
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.traffic.generator import PacketMix, SyntheticTraffic
+from repro.traffic.parsec import PARSEC_PROFILES, ParsecWorkload
+from repro.traffic.patterns import make_pattern
+from repro.traffic.trace import (
+    TraceRecord,
+    TraceTraffic,
+    load_trace,
+    record_from_traffic,
+    save_trace,
+)
+
+from tests.conftest import make_mesh_network
+
+
+class TestPacketMix:
+    def test_paper_default_mix(self):
+        mix = PacketMix()
+        assert mix.lengths == (1, 5)
+        assert mix.mean_length == 3.0
+
+    def test_single(self):
+        mix = PacketMix.single(5)
+        assert mix.mean_length == 5.0
+        from repro.sim.rng import DeterministicRng
+
+        rng = DeterministicRng(1)
+        assert all(mix.sample(rng) == 5 for _ in range(20))
+
+    def test_sampling_respects_weights(self):
+        from repro.sim.rng import DeterministicRng
+
+        mix = PacketMix(lengths=(1, 5), weights=(0.9, 0.1))
+        rng = DeterministicRng(7)
+        samples = [mix.sample(rng) for _ in range(2000)]
+        ones = samples.count(1) / len(samples)
+        assert 0.85 < ones < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PacketMix(lengths=(1,), weights=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            PacketMix(lengths=(1, 5), weights=(0.0, 0.0))
+
+
+class TestSyntheticTraffic:
+    def test_offered_load_matches_rate(self):
+        network = make_mesh_network(side=4, vcs=3)
+        network.stats.open_window(0, 10_000)
+        traffic = SyntheticTraffic(network, make_pattern("uniform", 16),
+                                   injection_rate=0.12, seed=9)
+        for cycle in range(10_000):
+            traffic.phase_inject(cycle)
+        flits = network.stats.measured_flits_created
+        offered = flits / (10_000 * 16)
+        assert offered == pytest.approx(0.12, rel=0.1)
+
+    def test_stop_at_halts_generation(self):
+        network = make_mesh_network()
+        network.stats.open_window(0, None)
+        traffic = SyntheticTraffic(network, make_pattern("uniform", 16),
+                                   0.5, seed=2, stop_at=100)
+        for cycle in range(300):
+            traffic.phase_inject(cycle)
+        created = network.stats.packets_created
+        traffic2_created_after = created
+        assert created > 0
+        for cycle in range(300, 600):
+            traffic.phase_inject(cycle)
+        assert network.stats.packets_created == traffic2_created_after
+
+    def test_zero_rate_generates_nothing(self):
+        network = make_mesh_network()
+        traffic = SyntheticTraffic(network, make_pattern("uniform", 16),
+                                   0.0, seed=2)
+        for cycle in range(500):
+            traffic.phase_inject(cycle)
+        assert network.stats.packets_created == 0
+
+    def test_pattern_size_must_match(self):
+        network = make_mesh_network(side=4)
+        with pytest.raises(ConfigurationError):
+            SyntheticTraffic(network, make_pattern("uniform", 64), 0.1)
+
+    def test_deterministic_given_seed(self):
+        def creations(seed):
+            network = make_mesh_network()
+            network.stats.open_window(0, None)
+            traffic = SyntheticTraffic(network, make_pattern("uniform", 16),
+                                       0.3, seed=seed)
+            for cycle in range(200):
+                traffic.phase_inject(cycle)
+            return [(nic.node, len(q)) for nic in network.nics
+                    for q in nic.queues]
+
+        assert creations(5) == creations(5)
+        assert creations(5) != creations(6)
+
+
+class TestParsec:
+    def test_profiles_cover_suite(self):
+        assert len(PARSEC_PROFILES) == 10
+        assert "canneal" in PARSEC_PROFILES
+        assert all(p.rate > 0 for p in PARSEC_PROFILES.values())
+
+    def test_requires_multiple_vnets(self):
+        network = make_mesh_network(num_vnets=1)
+        with pytest.raises(ConfigurationError):
+            ParsecWorkload(network, PARSEC_PROFILES["canneal"])
+
+    def test_generates_requests_with_replies(self):
+        network = make_mesh_network(side=4, vcs=2, num_vnets=3,
+                                    spin=SpinParams(tdd=64))
+        network.stats.open_window(0, 3000)
+        workload = ParsecWorkload(network, PARSEC_PROFILES["canneal"], seed=4)
+        sim = Simulator()
+        sim.register(workload)
+        sim.register(network)
+        sim.run(3000)
+        workload.stop_at = 0
+        sim.run(3000)
+        stats = network.stats
+        assert stats.packets_created > 0
+        # Replies double the packet count relative to requests.
+        assert stats.packets_delivered == pytest.approx(
+            2 * workload_requests(network), abs=2)
+
+    def test_application_load_is_light(self):
+        # The paper's premise: real applications inject far below
+        # deadlocking rates; the heaviest proxy stays under 0.05.
+        assert max(p.rate for p in PARSEC_PROFILES.values()) <= 0.05
+
+
+def workload_requests(network):
+    return sum(nic.packets_created for nic in network.nics) // 2
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            TraceRecord(cycle=0, src=0, dst=5, length=1),
+            TraceRecord(cycle=3, src=2, dst=7, length=5, vnet=1,
+                        reply_length=1),
+        ]
+        path = tmp_path / "trace.jsonl"
+        save_trace(records, str(path))
+        assert load_trace(str(path)) == records
+
+    def test_replay_delivers_trace(self):
+        network = make_mesh_network(side=4, vcs=2, num_vnets=2)
+        network.stats.open_window(0, None)
+        records = [TraceRecord(cycle=i, src=i % 16, dst=(i + 5) % 16,
+                               length=1) for i in range(20)]
+        replay = TraceTraffic(network, records)
+        sim = Simulator()
+        sim.register(replay)
+        sim.register(network)
+        sim.run(500)
+        assert network.stats.packets_delivered == 20
+
+    def test_replay_validates_nodes(self):
+        network = make_mesh_network(side=4)
+        with pytest.raises(ConfigurationError):
+            TraceTraffic(network, [TraceRecord(0, 0, 99, 1)])
+
+    def test_record_from_traffic(self):
+        network = make_mesh_network(side=4)
+        source = SyntheticTraffic(network, make_pattern("uniform", 16),
+                                  0.3, seed=8)
+        records = record_from_traffic(network, source, cycles=100)
+        assert records
+        assert all(0 <= r.src < 16 and 0 <= r.dst < 16 for r in records)
+        assert network.total_backlog() == 0  # drained into the trace
