@@ -17,6 +17,8 @@ import sys
 from typing import List, Optional
 
 from repro.config import SimulationConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.faults import parse_fault_spec
 from repro.harness.configs import ALL_DESIGNS, get_design
 from repro.harness.runner import latency_curve, run_design
 from repro.harness.tables import format_table
@@ -30,6 +32,49 @@ def _sim_config(args) -> SimulationConfig:
         drain_cycles=args.drain,
         deadlock_abort_cycles=args.abort_cycles,
     )
+
+
+def _parse_dragonfly(text: str) -> tuple:
+    """Parse and validate ``p,a,h`` dragonfly dimensions."""
+    parts = text.split(",")
+    if len(parts) != 3:
+        raise ConfigurationError(
+            "--dragonfly expects exactly three comma-separated integers "
+            "p,a,h (e.g. 2,4,2)", value=text)
+    try:
+        dims = tuple(int(part) for part in parts)
+    except ValueError:
+        raise ConfigurationError(
+            "--dragonfly dimensions must be integers (e.g. 2,4,2)",
+            value=text) from None
+    if min(dims) < 1:
+        raise ConfigurationError(
+            "--dragonfly dimensions must all be >= 1", value=text)
+    return dims
+
+
+def _validate_run_args(args) -> None:
+    """Friendly rejection of out-of-range CLI inputs (fail before cycles)."""
+    rate = getattr(args, "rate", None)
+    rates = ([float(x) for x in args.rates.split(",")]
+             if getattr(args, "rates", None) else [])
+    for value in ([rate] if rate is not None else rates):
+        if not 0.0 < value <= 1.0:
+            raise ConfigurationError(
+                "offered load must be in (0, 1] flits/node/cycle",
+                rate=value)
+    if args.seed < 0:
+        raise ConfigurationError("--seed must be >= 0", seed=args.seed)
+    if args.tdd is not None and args.tdd < 1:
+        raise ConfigurationError("--tdd must be >= 1", tdd=args.tdd)
+    if args.mesh_side < 2:
+        raise ConfigurationError("--mesh-side must be >= 2",
+                                 mesh_side=args.mesh_side)
+    if args.fault_seed < 0:
+        raise ConfigurationError("--fault-seed must be >= 0",
+                                 fault_seed=args.fault_seed)
+    if args.faults:
+        parse_fault_spec(args.faults)  # raises FaultInjectionError on typos
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +92,12 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--measure", type=int, default=3000)
     parser.add_argument("--drain", type=int, default=3000)
     parser.add_argument("--abort-cycles", type=int, default=2000)
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault-injection spec, e.g. "
+                        "'link_down@1000:r3-r4,sm_drop:p=0.01' "
+                        "(see docs/FAULTS.md)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for probabilistic fault realization")
 
 
 def cmd_designs(args) -> int:
@@ -62,34 +113,48 @@ def cmd_designs(args) -> int:
 
 def cmd_run(args) -> int:
     get_design(args.design)  # fail fast with the full list on a typo
-    dragonfly = tuple(int(x) for x in args.dragonfly.split(","))
+    _validate_run_args(args)
+    dragonfly = _parse_dragonfly(args.dragonfly)
     network, point = run_design(
         args.design, args.pattern, args.rate, _sim_config(args),
         seed=args.seed, mesh_side=args.mesh_side, dragonfly=dragonfly,
-        tdd=args.tdd)
+        tdd=args.tdd, faults=args.faults, fault_seed=args.fault_seed)
+    rows = [
+        ["offered load (flits/node/cycle)", args.rate],
+        ["mean latency (cycles)", round(point.mean_latency, 2)],
+        ["p99 latency (cycles)", round(point.p99_latency, 2)],
+        ["received throughput", round(point.throughput, 4)],
+        ["delivery ratio", round(point.delivery_ratio, 4)],
+        ["wedged", point.wedged],
+        ["spins", point.events.get("spins", 0)],
+        ["probes sent", point.events.get("probes_sent", 0)],
+        ["mean hops", round(network.stats.mean_hops(), 3)],
+    ]
+    if args.faults:
+        rows += [
+            ["faults injected", point.events.get("faults_injected", 0)],
+            ["SMs dropped", point.events.get("sm_dropped", 0)],
+            ["watchdog fires", point.events.get("watchdog_fires", 0)],
+            ["SM retries", point.events.get("sm_retries", 0)],
+            ["reroutes", point.events.get("reroutes", 0)],
+            ["packets lost", point.packets_lost],
+            ["recoveries after fault",
+             point.events.get("recoveries_after_fault", 0)],
+        ]
     print(format_table(
-        ["Metric", "Value"],
-        [
-            ["offered load (flits/node/cycle)", args.rate],
-            ["mean latency (cycles)", round(point.mean_latency, 2)],
-            ["p99 latency (cycles)", round(point.p99_latency, 2)],
-            ["received throughput", round(point.throughput, 4)],
-            ["delivery ratio", round(point.delivery_ratio, 4)],
-            ["wedged", point.wedged],
-            ["spins", point.events.get("spins", 0)],
-            ["probes sent", point.events.get("probes_sent", 0)],
-            ["mean hops", round(network.stats.mean_hops(), 3)],
-        ],
+        ["Metric", "Value"], rows,
         title=f"{args.design} / {args.pattern} @ {args.rate}"))
     return 0
 
 
 def cmd_sweep(args) -> int:
+    _validate_run_args(args)
     rates = [float(x) for x in args.rates.split(",")]
-    dragonfly = tuple(int(x) for x in args.dragonfly.split(","))
+    dragonfly = _parse_dragonfly(args.dragonfly)
     points, saturation = latency_curve(
         args.design, args.pattern, rates, _sim_config(args), seed=args.seed,
-        mesh_side=args.mesh_side, dragonfly=dragonfly, tdd=args.tdd)
+        mesh_side=args.mesh_side, dragonfly=dragonfly, tdd=args.tdd,
+        faults=args.faults, fault_seed=args.fault_seed)
     rows = [
         [p.injection_rate, round(p.mean_latency, 1), round(p.throughput, 4),
          round(p.delivery_ratio, 3), p.wedged, p.events.get("spins", 0)]
@@ -159,4 +224,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except ReproError as exc:
+        # Friendly one-line failure for interactive use; tests call main()
+        # directly and still see the typed exception.
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

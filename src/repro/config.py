@@ -108,6 +108,19 @@ class SpinParams:
         max_spins: Safety valve for simulation only — abort the run if one
             deadlock needs more than this many spins (the theory bounds the
             number of spins, so hitting this indicates a bug, not a policy).
+        watchdog_enabled: Hardening against *lost* special messages (faulty
+            control wiring, runtime link failures — see docs/FAULTS.md):
+            every SM round trip an initiator starts is covered by a
+            watchdog timeout derived from the theorem's loop-delay bound;
+            on expiry the SM is retried a bounded number of times with
+            exponential backoff, after which the FSM degrades gracefully
+            back to detection/OFF instead of hanging.
+        watchdog_margin: Extra cycles added on top of the loop-delay bound
+            when arming a watchdog (absorbs SM queueing jitter).
+        max_sm_retries: Retries per lost SM round trip before the watchdog
+            gives up and the FSM resets.
+        backoff_factor: Multiplier applied to the watchdog timeout after
+            each retry (exponential backoff).
     """
 
     enabled: bool = True
@@ -118,6 +131,10 @@ class SpinParams:
     sync_slack: int = 0
     probe_path_factor: int = 2
     max_spins: int = 10_000
+    watchdog_enabled: bool = True
+    watchdog_margin: int = 16
+    max_sm_retries: int = 3
+    backoff_factor: int = 2
 
     def __post_init__(self) -> None:
         if self.tdd < 1:
@@ -128,6 +145,14 @@ class SpinParams:
             raise ConfigurationError("sync_slack must be >= 0")
         if self.probe_path_factor < 1:
             raise ConfigurationError("probe_path_factor must be >= 1")
+        if self.max_spins < 1:
+            raise ConfigurationError("max_spins must be >= 1")
+        if self.watchdog_margin < 0:
+            raise ConfigurationError("watchdog_margin must be >= 0")
+        if self.max_sm_retries < 0:
+            raise ConfigurationError("max_sm_retries must be >= 0")
+        if self.backoff_factor < 1:
+            raise ConfigurationError("backoff_factor must be >= 1")
 
     @property
     def epoch_length(self) -> int:

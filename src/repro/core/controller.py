@@ -62,6 +62,12 @@ class SpinController:
         self.is_deadlock = False
         self.latched_source: Optional[int] = None
 
+        # Watchdog state (SM-loss hardening, docs/FAULTS.md): the last
+        # outstanding probe round trip as (inport, outport, vnet,
+        # timeout_cycle, retries), and the kill_move retry budget used.
+        self.probe_pending: Optional[Tuple[int, int, int, int, int]] = None
+        self.kill_retries = 0
+
     # ------------------------------------------------------------------
     # Counter tick (called once per cycle)
     # ------------------------------------------------------------------
@@ -72,18 +78,23 @@ class SpinController:
                 self._point_at_next_active_vc(now)
             return
         if state is SpinState.DD:
+            self._check_probe_watchdog(now)
             self._tick_detection(now)
         elif state is SpinState.MOVE:
             if now >= self.deadline:
+                # The move round trip timed out: some hop dropped it (link
+                # contention, dead link, or an injected SM fault).
+                self.framework.stats.count("watchdog_fires")
                 self._start_kill(now)
         elif state is SpinState.PROBE_MOVE:
             if self.probe_move_send_at is not None and now >= self.probe_move_send_at:
                 self._emit_probe_move(now)
             elif self.probe_move_send_at is None and now >= self.deadline:
+                self.framework.stats.count("watchdog_fires")
                 self._start_kill(now)
         elif state is SpinState.KILL_MOVE:
             if now >= self.deadline:
-                self._finish_recovery(now)
+                self._kill_watchdog(now)
         elif state in (SpinState.FROZEN, SpinState.FORWARD_PROGRESS):
             # The executor normally drives these states at the spin cycle.
             # If that cycle passed without a callback (lost kill_move race),
@@ -94,6 +105,7 @@ class SpinController:
                 self.is_deadlock = False
                 self.latched_source = None
                 self.framework.stats.count("freeze_timeouts")
+                self.framework.stats.count("watchdog_fires")
                 self._reset_to_detection(now)
 
     def _tick_detection(self, now: int) -> None:
@@ -164,17 +176,83 @@ class SpinController:
         self.pointer = None
         self.pointed_uid = None
         self.deadline = None
+        self.probe_pending = None
 
     # ------------------------------------------------------------------
     # Initiator actions
     # ------------------------------------------------------------------
     def _send_probe(self, now: int, inport: int, outport: int,
-                    vnet: int) -> None:
+                    vnet: int, retries: int = 0) -> None:
         probe = ProbeMessage(sender=self.router.id, send_cycle=now,
                              origin_inport=inport, origin_outport=outport,
                              vnet=vnet)
         self.framework.send_sm(self.router.id, outport, probe, now)
         self.framework.on_probe_sent(self.router.id, now)
+        if self.params.watchdog_enabled:
+            # Arm the SM-loss watchdog (docs/FAULTS.md): the round trip is
+            # bounded by the theorem's loop-delay bound; exponential backoff
+            # keeps retries of a persistently-lossy path cheap.
+            timeout = (self.framework.sm_rtt_bound
+                       * self.params.backoff_factor ** retries
+                       + self.params.watchdog_margin)
+            self.probe_pending = (inport, outport, vnet, now + timeout,
+                                  retries)
+
+    def _check_probe_watchdog(self, now: int) -> None:
+        """Retry (bounded) a probe whose round trip outlived its bound.
+
+        The rotating detection pointer is the natural re-probe mechanism in
+        fault-free operation; the watchdog is the backstop for *lost* SMs —
+        it re-probes the same dependency promptly instead of waiting a full
+        ``tdd`` rotation, and gives up after ``max_sm_retries`` so a truly
+        dead control path degrades back to plain detection.
+        """
+        pending = self.probe_pending
+        if pending is None or now < pending[3]:
+            return
+        inport, outport, vnet, _, retries = pending
+        self.probe_pending = None
+        self.framework.stats.count("watchdog_fires")
+        if retries >= self.params.max_sm_retries:
+            self.framework.stats.count("watchdog_gave_up")
+            return
+        if self._freezable_vc(inport, outport, vnet, now) is None:
+            return  # The dependency resolved itself; nothing to retry.
+        self.framework.stats.count("sm_retries")
+        self.framework.stats.count("probe_retries")
+        self._send_probe(now, inport, outport, vnet, retries=retries + 1)
+
+    def _kill_watchdog(self, now: int) -> None:
+        """The kill_move round trip timed out: retry it, then reset.
+
+        A lost kill_move is the most dangerous SM loss — downstream routers
+        keep VCs frozen for a spin that will never happen (the FROZEN escape
+        in :meth:`tick` eventually unsticks them, but slowly).  Retrying the
+        kill is cheap and idempotent: unfreezing an already-thawed VC is a
+        no-op.  After ``max_sm_retries`` the initiator resets regardless —
+        its own state must not hang on a dead control path.
+        """
+        self.framework.stats.count("watchdog_fires")
+        if (
+            self.params.watchdog_enabled
+            and self.kill_retries < self.params.max_sm_retries
+            and self.loop_path
+        ):
+            self.kill_retries += 1
+            self.framework.stats.count("sm_retries")
+            self.framework.stats.count("kill_move_retries")
+            self.deadline = now + (
+                (self.loop_delay + self.params.sync_slack + 1)
+                * self.params.backoff_factor ** self.kill_retries)
+            kill = KillMoveMessage(sender=self.router.id, send_cycle=now,
+                                   path=self.loop_path, hop_index=1,
+                                   vnet=self.probe_vnet)
+            self.framework.send_sm(self.router.id, self.probe_outport, kill,
+                                   now)
+            self.framework.stats.count("kill_moves_sent")
+            return
+        self.framework.stats.count("watchdog_resets")
+        self._finish_recovery(now)
 
     def _start_move(self, now: int, probe: ProbeMessage) -> None:
         self.loop_path = probe.path
@@ -202,6 +280,7 @@ class SpinController:
     def _start_kill(self, now: int) -> None:
         """The move/probe_move was dropped somewhere: cancel the spin."""
         self.state = SpinState.KILL_MOVE
+        self.kill_retries = 0
         self.deadline = now + self.loop_delay + self.params.sync_slack + 1
         kill = KillMoveMessage(sender=self.router.id, send_cycle=now,
                                path=self.loop_path, hop_index=1,
@@ -222,6 +301,8 @@ class SpinController:
         self.probe_outport = None
         self.pointer = None
         self.pointed_uid = None
+        self.probe_pending = None
+        self.kill_retries = 0
         self.state = SpinState.DD
         self._point_at_next_active_vc(now)
 
@@ -263,6 +344,7 @@ class SpinController:
         # output port.  Latch the origin as the recovery context — the move
         # must leave through the same port the probe did for the path to
         # align hop-by-hop.
+        self.probe_pending = None  # The round trip completed: disarm.
         self.probe_inport = probe.origin_inport
         self.probe_outport = probe.origin_outport
         self.probe_vnet = probe.vnet
@@ -515,5 +597,7 @@ class SpinController:
         self.probe_outport = None
         self.pointer = None
         self.pointed_uid = None
+        self.probe_pending = None
+        self.kill_retries = 0
         self.state = SpinState.DD
         self._point_at_next_active_vc(now)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List
 
+from repro.errors import SimulationError
 from repro.network.vc import VirtualChannel
 
 
@@ -106,6 +107,11 @@ class SpinExecutor:
         self._rotate(entries, now)
         stats.count("spins")
         stats.count("spin_hops", len(entries))
+        injector = getattr(network, "fault_injector", None)
+        if injector is not None and injector.faults_fired > 0:
+            # A recovery completed on a fabric that has seen injected
+            # faults — the headline robustness metric (docs/FAULTS.md).
+            stats.count("recoveries_after_fault")
         for router_id, was_initiator in initiators.items():
             self.framework.controllers[router_id].on_spin_complete(
                 now, was_initiator)
@@ -119,6 +125,7 @@ class SpinExecutor:
         # Capture per-entry context before release() clears the freeze state.
         packets = [vc.packet for vc in entries]
         outports = [vc.freeze_outport for vc in entries]
+        initiator = entries[0].freeze_source
         for vc, outport in zip(entries, outports):
             router = network.routers[vc.router]
             packet = vc.release(now)
@@ -138,6 +145,16 @@ class SpinExecutor:
             target.reserve(packet, now, link.latency, config.router_latency)
             packet.hops += 1
             packet.spins += 1
+            if packet.spins > self.framework.params.max_spins:
+                # Simulation-only safety valve (SpinParams.max_spins): the
+                # theory bounds the spins one deadlock needs, so exceeding
+                # the valve indicates a simulator or protocol bug.
+                controller = self.framework.controllers[vc.router]
+                raise SimulationError(
+                    "packet exceeded max_spins — likely a protocol bug",
+                    cycle=now, router=vc.router, packet=packet.uid,
+                    spins=packet.spins, fsm_state=controller.state.name,
+                    initiator=initiator)
             now_min = network.topology.min_hops(target.router,
                                                 packet.routing_target)
             if now_min >= was_min:

@@ -56,6 +56,15 @@ class SpinFramework:
             SpinController(router, self) for router in network.routers
         ]
         self.max_probe_path = self.params.probe_path_factor * num_routers
+        # Watchdog round-trip bound (docs/FAULTS.md): the longest loop a
+        # probe can confirm has at most max_probe_path hops, each costing
+        # one link traversal plus one router pipeline — the theorem's
+        # loop-delay bound.  An SM round trip that outlives this bound (plus
+        # margin) was lost and may be retried.
+        max_link_latency = max(
+            (link.latency for link in network.links.values()), default=1)
+        self.sm_rtt_bound = self.max_probe_path * (
+            max_link_latency + network.config.router_latency)
 
     def phase_control(self, cycle: int) -> None:
         # 1. Spins scheduled for this cycle happen before anything else.
@@ -96,12 +105,14 @@ class SpinFramework:
         for router_id, outport, sm in self._outbox:
             by_link[(router_id, outport)].append(sm)
         self._outbox = []
+        injector = self.network.fault_injector
         for (router_id, outport), sms in by_link.items():
             router = self.network.routers[router_id]
             link = router.out_links.get(outport)
             if link is None:
                 raise ProtocolError(
-                    f"SM emitted on missing port {outport} of router {router_id}")
+                    f"SM emitted on missing port {outport} of router "
+                    f"{router_id}", router=router_id, port=outport, cycle=now)
             winner = max(sms, key=lambda sm: (
                 sm.class_priority,
                 self.priority.dynamic_priority(sm.sender, now),
@@ -110,9 +121,22 @@ class SpinFramework:
             for sm in sms:
                 if sm is not winner:
                     self.stats.count(f"{sm.kind}s_dropped_contention")
+            if not link.up:
+                # Fail-stop link: the SM is lost; initiator watchdogs and
+                # the kill/abort machinery recover (docs/FAULTS.md).
+                self.stats.count("sm_dropped")
+                self.stats.count(f"sm_dropped_{winner.kind}")
+                self.stats.count(f"{winner.kind}s_dropped_dead_link")
+                continue
+            extra_delay = 0
+            if injector is not None:
+                verdict = injector.filter_sm(winner, link, now)
+                if verdict is None:
+                    continue  # dropped (the injector counted it)
+                winner, extra_delay = verdict
             link.record_sm()
             neighbor, dst_inport = router.out_neighbors[outport]
-            self._arrivals[now + link.latency].append(
+            self._arrivals[now + link.latency + extra_delay].append(
                 (neighbor.id, dst_inport, winner))
 
     # ------------------------------------------------------------------

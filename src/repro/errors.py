@@ -2,11 +2,35 @@
 
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause.
+
+Every error carries an optional **context dict** of structured diagnostic
+fields (cycle, router id, FSM state, ...) supplied as keyword arguments:
+
+    raise SimulationError("unresolved deadlock", cycle=1042, router=3)
+
+The context is appended to the message (stable ``key=value`` order) and kept
+machine-readable on the ``context`` attribute so harnesses can log it.
 """
+
+from __future__ import annotations
+
+from typing import Any, Dict
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    Attributes:
+        context: Structured diagnostic fields attached at raise time.
+    """
+
+    def __init__(self, message: str = "", **context: Any) -> None:
+        self.context: Dict[str, Any] = dict(context)
+        if context:
+            details = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(context.items()))
+            message = f"{message} [{details}]" if message else f"[{details}]"
+        super().__init__(message)
 
 
 class ConfigurationError(ReproError):
@@ -33,3 +57,8 @@ class ProtocolError(ReproError):
 class SimulationError(ReproError):
     """A simulation could not be completed (e.g. unresolved deadlock when the
     configuration promised deadlock freedom)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault specification is malformed or a fault could not be applied
+    (unknown event kind, bad parameters, nonexistent link or router)."""

@@ -1,0 +1,43 @@
+"""Runtime fault injection and resilience (`repro.faults`).
+
+The paper positions SPIN as the deadlock-freedom framework for irregular and
+*faulty* fabrics (Sec. VII); this package makes faults a runtime phenomenon
+instead of a topology-construction-time one.  A :class:`FaultInjector` is a
+regular simulator component that executes a deterministic, seedable
+:class:`FaultSchedule` of events — links dying and reviving mid-run, routers
+power-gating, SPIN special messages being dropped, delayed or corrupted in
+flight — while the hardened SPIN control plane (watchdogs + bounded retry,
+see ``docs/FAULTS.md``) and the routing layer (dead-link rerouting, stranded
+packet reclamation) degrade gracefully instead of wedging.
+
+Typical use::
+
+    from repro.faults import FaultInjector, parse_fault_spec
+
+    schedule = parse_fault_spec("link_down@1000:r3-r4,sm_drop:p=0.01")
+    injector = FaultInjector(schedule, seed=7)
+    injector.bind(network)
+    simulator.register(injector)   # before the network component
+    simulator.register(network)
+
+or via the CLI: ``repro run ... --faults "link_down@1000:r3-r4" --fault-seed 7``.
+"""
+
+from repro.faults.events import (
+    LinkStateEvent,
+    RouterStateEvent,
+    SmFaultPolicy,
+    FaultSchedule,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import format_fault_spec, parse_fault_spec
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkStateEvent",
+    "RouterStateEvent",
+    "SmFaultPolicy",
+    "format_fault_spec",
+    "parse_fault_spec",
+]

@@ -1,0 +1,205 @@
+"""Fault event and schedule datatypes.
+
+A :class:`FaultSchedule` is a pure description — no simulator state — of two
+kinds of faults:
+
+* **Timed events** (:class:`LinkStateEvent`, :class:`RouterStateEvent`)
+  fire once, at an absolute cycle: a channel or a whole router goes down
+  (fail-stop) or comes back up.
+* **SM fault policies** (:class:`SmFaultPolicy`) apply continuously to
+  SPIN special messages crossing links: each matching SM is dropped,
+  delayed, or corrupted, either probabilistically (``probability``) or for
+  a deterministic budget of ``count`` messages.
+
+Schedules validate themselves on construction so malformed fault programs
+fail loudly before any cycles are simulated (:class:`FaultInjectionError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import FaultInjectionError
+
+#: SM fault actions.
+SM_ACTIONS = ("drop", "delay", "corrupt")
+#: SM kinds a policy may be scoped to (None = all kinds).
+SM_KINDS = ("probe", "move", "probe_move", "kill_move")
+
+
+@dataclass(frozen=True)
+class LinkStateEvent:
+    """Take one bidirectional channel down (or back up) at a cycle.
+
+    Attributes:
+        cycle: Absolute cycle the event fires (during phase_control).
+        a, b: Router ids of the channel's endpoints (undirected; both
+            directed links change state).
+        up: New state — False for ``link_down``, True for ``link_up``.
+    """
+
+    cycle: int
+    a: int
+    b: int
+    up: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise FaultInjectionError("event cycle must be >= 0",
+                                      event=self.describe())
+        if self.a < 0 or self.b < 0 or self.a == self.b:
+            raise FaultInjectionError("link endpoints must be distinct, "
+                                      "non-negative router ids",
+                                      event=self.describe())
+
+    def describe(self) -> str:
+        kind = "link_up" if self.up else "link_down"
+        return f"{kind}@{self.cycle}:r{self.a}-r{self.b}"
+
+
+@dataclass(frozen=True)
+class RouterStateEvent:
+    """Power-gate (or revive) a router at a cycle.
+
+    Gating a router takes down every channel touching it and drops any
+    packets buffered inside it (power gating loses SRAM state); reviving
+    restores only the links that were alive before the gate.
+
+    Attributes:
+        cycle: Absolute cycle the event fires.
+        router: Router id.
+        up: New state — False for ``router_down``, True for ``router_up``.
+    """
+
+    cycle: int
+    router: int
+    up: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise FaultInjectionError("event cycle must be >= 0",
+                                      event=self.describe())
+        if self.router < 0:
+            raise FaultInjectionError("router id must be >= 0",
+                                      event=self.describe())
+
+    def describe(self) -> str:
+        kind = "router_up" if self.up else "router_down"
+        return f"{kind}@{self.cycle}:r{self.router}"
+
+
+@dataclass(frozen=True)
+class SmFaultPolicy:
+    """A continuous fault policy on SPIN special messages.
+
+    Attributes:
+        action: "drop", "delay" or "corrupt".
+        probability: Per-SM fault probability in (0, 1].  With a ``count``
+            budget and probability 1.0 the policy is fully deterministic.
+        kind: Restrict to one SM kind ("probe", "move", "probe_move",
+            "kill_move"); None matches all.
+        after: First cycle (inclusive) the policy is armed.
+        until: Last cycle (exclusive) the policy applies; None = forever.
+        count: Total number of SMs this policy may fault; None = unlimited.
+        delay: Extra cycles of link latency for "delay" actions.
+    """
+
+    action: str
+    probability: float = 1.0
+    kind: Optional[str] = None
+    after: int = 0
+    until: Optional[int] = None
+    count: Optional[int] = None
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in SM_ACTIONS:
+            raise FaultInjectionError(
+                f"unknown SM fault action {self.action!r}",
+                allowed=list(SM_ACTIONS))
+        if not (0.0 < self.probability <= 1.0):
+            raise FaultInjectionError("SM fault probability must be in (0, 1]",
+                                      probability=self.probability)
+        if self.kind is not None and self.kind not in SM_KINDS:
+            raise FaultInjectionError(f"unknown SM kind {self.kind!r}",
+                                      allowed=list(SM_KINDS))
+        if self.after < 0:
+            raise FaultInjectionError("'after' cycle must be >= 0",
+                                      after=self.after)
+        if self.until is not None and self.until <= self.after:
+            raise FaultInjectionError("'until' must be > 'after'",
+                                      after=self.after, until=self.until)
+        if self.count is not None and self.count < 1:
+            raise FaultInjectionError("SM fault count must be >= 1",
+                                      count=self.count)
+        if self.action == "delay" and self.delay < 1:
+            raise FaultInjectionError("SM delay must be >= 1 cycle",
+                                      delay=self.delay)
+        if self.action != "delay" and self.delay != 0:
+            raise FaultInjectionError(
+                "'d=' is only meaningful for sm_delay", action=self.action)
+
+    def active_at(self, cycle: int) -> bool:
+        """Whether the policy window covers a cycle (budget not included)."""
+        if cycle < self.after:
+            return False
+        return self.until is None or cycle < self.until
+
+    def matches_kind(self, sm_kind: str) -> bool:
+        """Whether an SM kind falls under this policy."""
+        return self.kind is None or self.kind == sm_kind
+
+    def describe(self) -> str:
+        parts = [f"sm_{self.action}"]
+        if self.after:
+            parts[0] += f"@{self.after}"
+        if self.probability != 1.0:
+            parts.append(f"p={self.probability:g}")
+        if self.kind is not None:
+            parts.append(f"kind={self.kind}")
+        if self.until is not None:
+            parts.append(f"until={self.until}")
+        if self.count is not None:
+            parts.append(f"n={self.count}")
+        if self.action == "delay":
+            parts.append(f"d={self.delay}")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, validated fault program for one simulation.
+
+    Attributes:
+        timed_events: Link/router state events, fired in (cycle, order)
+            sequence by the injector.
+        sm_policies: Continuous SM fault policies, consulted in order for
+            every SM send (first matching policy wins).
+    """
+
+    timed_events: Tuple[object, ...] = ()
+    sm_policies: Tuple[SmFaultPolicy, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.timed_events:
+            if not isinstance(event, (LinkStateEvent, RouterStateEvent)):
+                raise FaultInjectionError(
+                    "timed_events accepts LinkStateEvent/RouterStateEvent",
+                    got=type(event).__name__)
+        for policy in self.sm_policies:
+            if not isinstance(policy, SmFaultPolicy):
+                raise FaultInjectionError(
+                    "sm_policies accepts SmFaultPolicy",
+                    got=type(policy).__name__)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the schedule contains no faults at all."""
+        return not self.timed_events and not self.sm_policies
+
+    def describe(self) -> str:
+        """Canonical spec string (parsable by :func:`parse_fault_spec`)."""
+        parts = [event.describe() for event in self.timed_events]
+        parts.extend(policy.describe() for policy in self.sm_policies)
+        return ",".join(parts)

@@ -1,0 +1,273 @@
+"""The fault injector simulator component.
+
+:class:`FaultInjector` executes a :class:`~repro.faults.events.FaultSchedule`
+against a bound network.  It participates in the cycle loop through
+``phase_control`` and must be registered with the simulator *before* the
+network component, so that link/router state changes land before the SPIN
+control plane and the datapath react in the same cycle.
+
+Fault semantics (full discussion in ``docs/FAULTS.md``):
+
+* **Fail-stop links** — a dead link accepts no new packets or SMs.  Flits
+  already streaming when the link dies complete their traversal (the fault
+  is modeled at the link *entry*), preserving the datapath's no-loss
+  invariant for committed transfers.
+* **Power-gated routers** — all adjacent channels go down and every packet
+  buffered in the router is lost (SRAM state does not survive gating).
+  Frozen VCs are exempt: SPIN owns them and reclaims them through its own
+  kill/watchdog machinery.
+* **SM faults** — consulted at SM send time on each link; the first
+  matching policy wins.  Drops and delays model lossy/slow control wiring;
+  corruption truncates the SM's recorded path, which downstream safety
+  checks (malformed-path drops, the executor's spin safety guard) must
+  absorb.
+* **Stranded packet reclamation** — a packet whose every legal output port
+  is dead is *stranded*.  After ``drop_stranded_after`` cycles without an
+  alive route it is dropped and counted (``packets_lost``), releasing its
+  buffer so the rest of the network keeps flowing.
+
+All randomness comes from a :class:`DeterministicRng` forked from
+``seed``, so a fault schedule replays identically for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.faults.events import (
+    FaultSchedule,
+    LinkStateEvent,
+    RouterStateEvent,
+    SmFaultPolicy,
+)
+from repro.sim.rng import DeterministicRng
+
+#: How often (cycles) the stranded-packet scan runs while links are dead.
+_SCAN_INTERVAL = 8
+
+
+class FaultInjector:
+    """Executes a deterministic fault schedule against one network.
+
+    Args:
+        schedule: The fault program (or a spec string already parsed via
+            :func:`~repro.faults.spec.parse_fault_spec`).
+        seed: Seed of the injector's private RNG stream (probabilistic SM
+            policies); fixing it fixes the entire fault realization.
+        drop_stranded_after: Cycles a packet may sit with no alive route
+            before it is dropped and counted as lost.  0 disables
+            reclamation (stranded packets wait for a link_up forever).
+    """
+
+    def __init__(self, schedule: FaultSchedule, seed: int = 0,
+                 drop_stranded_after: int = 512) -> None:
+        if not isinstance(schedule, FaultSchedule):
+            raise FaultInjectionError(
+                "FaultInjector needs a FaultSchedule "
+                "(use parse_fault_spec for spec strings)",
+                got=type(schedule).__name__)
+        if drop_stranded_after < 0:
+            raise FaultInjectionError("drop_stranded_after must be >= 0",
+                                      got=drop_stranded_after)
+        self.schedule = schedule
+        self.seed = seed
+        self.rng = DeterministicRng(seed).fork("faults")
+        self.drop_stranded_after = drop_stranded_after
+        self.network = None
+        #: Timed events sorted by (cycle, schedule order); _next_event indexes.
+        self._events: List[object] = sorted(
+            schedule.timed_events,
+            key=lambda e: e.cycle)
+        self._next_event = 0
+        #: Remaining fault budget per SM policy (None = unlimited).
+        self._budgets: List[Optional[int]] = [
+            policy.count for policy in schedule.sm_policies]
+        #: Total faults applied so far (timed events + SM faults).
+        self.faults_fired = 0
+        #: Router id -> directed link keys (src, src_port) touching it.
+        self._links_of_router: Dict[int, List[Tuple[int, int]]] = {}
+        #: (min, max) endpoint pair -> directed link keys of the channel.
+        self._channel_links: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        #: Gated router -> directed link keys that were up at gating time.
+        self._gated: Dict[int, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, network) -> None:
+        """Attach to a network and validate every event against its fabric."""
+        self.network = network
+        network.fault_injector = self
+        self._links_of_router = {}
+        self._channel_links = {}
+        for (src, src_port), link in network.links.items():
+            key = (src, src_port)
+            self._links_of_router.setdefault(link.src, []).append(key)
+            self._links_of_router.setdefault(link.dst, []).append(key)
+            channel = (min(link.src, link.dst), max(link.src, link.dst))
+            self._channel_links.setdefault(channel, []).append(key)
+        self._validate_events()
+
+    def _validate_events(self) -> None:
+        num_routers = len(self.network.routers)
+        for event in self._events:
+            if isinstance(event, LinkStateEvent):
+                channel = (min(event.a, event.b), max(event.a, event.b))
+                if channel not in self._channel_links:
+                    raise FaultInjectionError(
+                        "fault names a nonexistent channel",
+                        event=event.describe())
+            elif isinstance(event, RouterStateEvent):
+                if event.router >= num_routers:
+                    raise FaultInjectionError(
+                        "fault names a nonexistent router",
+                        event=event.describe(), num_routers=num_routers)
+
+    # ------------------------------------------------------------------
+    # Cycle hook
+    # ------------------------------------------------------------------
+    def phase_control(self, cycle: int) -> None:
+        events = self._events
+        while self._next_event < len(events):
+            event = events[self._next_event]
+            if event.cycle > cycle:
+                break
+            self._next_event += 1
+            self._apply_event(event, cycle)
+        if (
+            self.drop_stranded_after
+            and self.network.dead_link_count
+            and cycle % _SCAN_INTERVAL == 0
+        ):
+            self._reclaim_stranded(cycle)
+
+    # ------------------------------------------------------------------
+    # Timed events
+    # ------------------------------------------------------------------
+    def _apply_event(self, event, now: int) -> None:
+        stats = self.network.stats
+        stats.count("faults_injected")
+        self.faults_fired += 1
+        if isinstance(event, LinkStateEvent):
+            channel = (min(event.a, event.b), max(event.a, event.b))
+            for key in self._channel_links[channel]:
+                self.network.set_link_state(key[0], key[1], event.up, now)
+        elif isinstance(event, RouterStateEvent):
+            if event.up:
+                self._ungate_router(event.router, now)
+            else:
+                self._gate_router(event.router, now)
+
+    def _gate_router(self, router_id: int, now: int) -> None:
+        if router_id in self._gated:
+            return
+        network = self.network
+        network.stats.count("router_down_events")
+        was_up = []
+        for key in self._links_of_router.get(router_id, ()):
+            if network.links[key].up:
+                was_up.append(key)
+                network.set_link_state(key[0], key[1], False, now)
+        self._gated[router_id] = was_up
+        # Power gating loses buffered state: drop resident packets.
+        router = network.routers[router_id]
+        for _, vcs in router.all_inports():
+            for vc in vcs:
+                if vc.packet is not None and not vc.frozen:
+                    self._drop_packet(router, vc, now, reason="power_gate")
+
+    def _ungate_router(self, router_id: int, now: int) -> None:
+        network = self.network
+        network.stats.count("router_up_events")
+        for key in self._gated.pop(router_id, ()):
+            network.set_link_state(key[0], key[1], True, now)
+
+    # ------------------------------------------------------------------
+    # SM faults (called by the SPIN framework's SM transport)
+    # ------------------------------------------------------------------
+    def filter_sm(self, sm, link, now: int) -> Optional[Tuple[object, int]]:
+        """Apply SM fault policies to one special-message send.
+
+        Returns:
+            ``(sm, extra_delay)`` — possibly corrupted, possibly delayed —
+            or None when the SM is dropped.  Counting happens here.
+        """
+        stats = self.network.stats
+        for index, policy in enumerate(self.schedule.sm_policies):
+            if not policy.active_at(now) or not policy.matches_kind(sm.kind):
+                continue
+            budget = self._budgets[index]
+            if budget is not None and budget <= 0:
+                continue
+            if policy.probability < 1.0 and not self.rng.bernoulli(
+                    policy.probability):
+                continue
+            if budget is not None:
+                self._budgets[index] = budget - 1
+            self.faults_fired += 1
+            if policy.action == "drop":
+                stats.count("sm_dropped")
+                stats.count(f"sm_dropped_{sm.kind}")
+                return None
+            if policy.action == "delay":
+                stats.count("sm_delayed")
+                return sm, policy.delay
+            # corrupt: truncate the recorded path; an empty path cannot be
+            # truncated, so the SM is lost outright.
+            stats.count("sm_corrupted")
+            if not sm.path:
+                stats.count("sm_dropped")
+                stats.count(f"sm_dropped_{sm.kind}")
+                return None
+            return sm.with_path(sm.path[:-1]), 0
+        return sm, 0
+
+    # ------------------------------------------------------------------
+    # Stranded packet reclamation
+    # ------------------------------------------------------------------
+    def _reclaim_stranded(self, now: int) -> None:
+        network = self.network
+        threshold = self.drop_stranded_after
+        victims = []
+        for router, _, vc in network.occupied_vcs():
+            packet = vc.packet
+            since = packet.route_state.get("stranded_since")
+            if since is None or now - since < threshold:
+                continue
+            if vc.frozen or not vc.fully_arrived(now):
+                continue
+            if self._has_alive_route(router, packet):
+                packet.route_state.pop("stranded_since", None)
+                continue
+            victims.append((router, vc))
+        for router, vc in victims:
+            self._drop_packet(router, vc, now, reason="stranded")
+
+    def _has_alive_route(self, router, packet) -> bool:
+        if packet.reached_phase_target(router.id):
+            return True
+        for port in self.network.routing.candidate_outports(router, packet):
+            link = router.out_links.get(port)
+            if link is None or link.up:
+                return True
+        return False
+
+    def _drop_packet(self, router, vc, now: int, reason: str) -> None:
+        packet = vc.release(now)
+        network = self.network
+        network.note_vc_released(router)
+        network.stats.record_loss(packet, now)
+        network.stats.count(f"packets_lost_{reason}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def gated_routers(self) -> Tuple[int, ...]:
+        """Currently power-gated router ids, ascending."""
+        return tuple(sorted(self._gated))
+
+    def __repr__(self) -> str:
+        return (f"FaultInjector(events={len(self._events)}, "
+                f"policies={len(self.schedule.sm_policies)}, "
+                f"seed={self.seed})")

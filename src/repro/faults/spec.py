@@ -1,0 +1,168 @@
+"""The ``--faults`` spec grammar.
+
+A fault spec is a comma-separated list of events; each event is a name with
+an optional ``@cycle`` anchor followed by colon-separated arguments::
+
+    spec   := event ("," event)*
+    event  := name ["@" cycle] (":" arg)*
+    arg    := "r" A "-" "r" B      -- channel endpoints (link events)
+            | "r" N                -- router id (router events)
+            | key "=" value        -- keyword parameter
+
+Event reference (full semantics in ``docs/FAULTS.md``):
+
+=====================================  =========================================
+``link_down@C:rA-rB``                  channel A<->B fails (both directions) at C
+``link_up@C:rA-rB``                    channel A<->B recovers at C
+``router_down@C:rN``                   router N power-gates at C
+``router_up@C:rN``                     router N revives at C
+``sm_drop[:p=P][:kind=K][:n=N]``       drop matching SMs (prob. P, budget N)
+``sm_drop@C:...``                      ... starting at cycle C
+``sm_delay:d=D[:p=P][:kind=K][:n=N]``  add D cycles of latency to matching SMs
+``sm_corrupt[:p=P][:kind=K][:n=N]``    truncate the path of matching SMs
+=====================================  =========================================
+
+Keyword parameters: ``p`` (probability in (0, 1]); ``kind`` (probe, move,
+probe_move, kill_move); ``n`` (total fault budget); ``until`` (last active
+cycle, exclusive); ``d`` (delay cycles, sm_delay only).  ``@C`` on an SM
+event sets the first armed cycle.
+
+All parse failures raise :class:`~repro.errors.FaultInjectionError` with the
+offending event in the error context.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import FaultInjectionError
+from repro.faults.events import (
+    FaultSchedule,
+    LinkStateEvent,
+    RouterStateEvent,
+    SmFaultPolicy,
+)
+
+_LINK_ARG = re.compile(r"^r(\d+)-r(\d+)$")
+_ROUTER_ARG = re.compile(r"^r(\d+)$")
+_HEAD = re.compile(r"^([a-z_]+)(?:@(\d+))?$")
+
+
+def parse_fault_spec(spec: str) -> FaultSchedule:
+    """Parse a ``--faults`` string into a :class:`FaultSchedule`.
+
+    Raises:
+        FaultInjectionError: On any grammar or parameter violation.
+    """
+    if not isinstance(spec, str):
+        raise FaultInjectionError("fault spec must be a string",
+                                  got=type(spec).__name__)
+    timed: List[object] = []
+    policies: List[SmFaultPolicy] = []
+    for raw_event in spec.split(","):
+        event = raw_event.strip()
+        if not event:
+            raise FaultInjectionError("empty fault event", spec=spec)
+        head, *args = event.split(":")
+        match = _HEAD.match(head.strip())
+        if match is None:
+            raise FaultInjectionError(
+                f"malformed fault event head {head!r} "
+                "(expected name or name@cycle)", event=event)
+        name = match.group(1)
+        cycle = int(match.group(2)) if match.group(2) is not None else None
+        if name in ("link_down", "link_up"):
+            timed.append(_parse_link_event(name, cycle, args, event))
+        elif name in ("router_down", "router_up"):
+            timed.append(_parse_router_event(name, cycle, args, event))
+        elif name in ("sm_drop", "sm_delay", "sm_corrupt"):
+            policies.append(_parse_sm_policy(name, cycle, args, event))
+        else:
+            raise FaultInjectionError(
+                f"unknown fault event {name!r}", event=event,
+                known=["link_down", "link_up", "router_down", "router_up",
+                       "sm_drop", "sm_delay", "sm_corrupt"])
+    return FaultSchedule(timed_events=tuple(timed),
+                         sm_policies=tuple(policies))
+
+
+def format_fault_spec(schedule: FaultSchedule) -> str:
+    """Canonical spec string for a schedule (inverse of parsing)."""
+    return schedule.describe()
+
+
+def _parse_link_event(name: str, cycle: Optional[int], args: List[str],
+                      event: str) -> LinkStateEvent:
+    if cycle is None:
+        raise FaultInjectionError(f"{name} requires an @cycle anchor",
+                                  event=event)
+    if len(args) != 1:
+        raise FaultInjectionError(
+            f"{name} takes exactly one rA-rB argument", event=event)
+    match = _LINK_ARG.match(args[0].strip())
+    if match is None:
+        raise FaultInjectionError(
+            f"malformed link endpoints {args[0]!r} (expected rA-rB)",
+            event=event)
+    return LinkStateEvent(cycle=cycle, a=int(match.group(1)),
+                          b=int(match.group(2)), up=(name == "link_up"))
+
+
+def _parse_router_event(name: str, cycle: Optional[int], args: List[str],
+                        event: str) -> RouterStateEvent:
+    if cycle is None:
+        raise FaultInjectionError(f"{name} requires an @cycle anchor",
+                                  event=event)
+    if len(args) != 1:
+        raise FaultInjectionError(
+            f"{name} takes exactly one rN argument", event=event)
+    match = _ROUTER_ARG.match(args[0].strip())
+    if match is None:
+        raise FaultInjectionError(
+            f"malformed router id {args[0]!r} (expected rN)", event=event)
+    return RouterStateEvent(cycle=cycle, router=int(match.group(1)),
+                            up=(name == "router_up"))
+
+
+def _parse_sm_policy(name: str, cycle: Optional[int], args: List[str],
+                     event: str) -> SmFaultPolicy:
+    params = _parse_kv(args, event)
+    allowed = {"p", "kind", "n", "until", "d"}
+    unknown = set(params) - allowed
+    if unknown:
+        raise FaultInjectionError(
+            f"unknown SM fault parameter(s) {sorted(unknown)}",
+            event=event, allowed=sorted(allowed))
+    try:
+        probability = float(params["p"]) if "p" in params else 1.0
+        count = int(params["n"]) if "n" in params else None
+        until = int(params["until"]) if "until" in params else None
+        delay = int(params["d"]) if "d" in params else 0
+    except ValueError as exc:
+        raise FaultInjectionError(f"non-numeric SM fault parameter ({exc})",
+                                  event=event) from None
+    return SmFaultPolicy(
+        action=name[len("sm_"):],
+        probability=probability,
+        kind=params.get("kind"),
+        after=cycle or 0,
+        until=until,
+        count=count,
+        delay=delay,
+    )
+
+
+def _parse_kv(args: List[str], event: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for arg in args:
+        key, sep, value = arg.strip().partition("=")
+        if not sep or not key or not value:
+            raise FaultInjectionError(
+                f"malformed SM fault parameter {arg!r} (expected key=value)",
+                event=event)
+        if key in params:
+            raise FaultInjectionError(f"duplicate parameter {key!r}",
+                                      event=event)
+        params[key] = value
+    return params

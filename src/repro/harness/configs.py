@@ -141,14 +141,23 @@ MESH_DESIGNS: Dict[str, DesignConfig] = _mesh_designs()
 DRAGONFLY_DESIGNS: Dict[str, DesignConfig] = _dragonfly_designs()
 ALL_DESIGNS: Dict[str, DesignConfig] = {**MESH_DESIGNS, **DRAGONFLY_DESIGNS}
 
+#: Convenience aliases for the headline design points (shorthand accepted
+#: anywhere a registry name is: CLI ``--design``, :func:`get_design`).
+DESIGN_ALIASES: Dict[str, str] = {
+    "spin_mesh": "mesh:minadaptive-spin-1vc",
+    "spin_dragonfly": "dfly:minimal-spin-1vc",
+}
+
 
 def get_design(name: str) -> DesignConfig:
-    """Look up a design by registry name."""
+    """Look up a design by registry name (aliases accepted)."""
+    name = DESIGN_ALIASES.get(name, name)
     try:
         return ALL_DESIGNS[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown design {name!r}; known: {sorted(ALL_DESIGNS)}"
+            f"unknown design {name!r}; known: {sorted(ALL_DESIGNS)} "
+            f"(aliases: {sorted(DESIGN_ALIASES)})"
         ) from None
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.config import SimulationConfig
+from repro.faults import FaultInjector, parse_fault_spec
 from repro.harness.configs import (
     DRAGONFLY_SMALL,
     MESH_SIDE,
@@ -25,13 +26,38 @@ def _pattern_cols(design, mesh_side: int) -> Optional[int]:
     return mesh_side if design.topology == "mesh" else None
 
 
+def _fault_factory(faults: Optional[str], fault_seed: int):
+    """Build a ``() -> FaultInjector`` factory from a fault spec string.
+
+    Returns None for an absent/empty spec so fault-free runs pay zero
+    overhead (no injector component is registered at all).
+    """
+    if not faults:
+        return None
+    schedule = parse_fault_spec(faults)  # validate before any simulation
+
+    def factory():
+        return FaultInjector(schedule, seed=fault_seed)
+
+    return factory
+
+
 def run_design(design_name: str, pattern_name: str, injection_rate: float,
                sim_config: Optional[SimulationConfig] = None,
                seed: int = 1, mesh_side: int = MESH_SIDE,
                dragonfly: Tuple[int, int, int] = DRAGONFLY_SMALL,
                mix: Optional[PacketMix] = None,
-               tdd: Optional[int] = None):
-    """Run one design at one load; returns (network, SweepPoint)."""
+               tdd: Optional[int] = None,
+               faults: Optional[str] = None,
+               fault_seed: int = 0):
+    """Run one design at one load; returns (network, SweepPoint).
+
+    Args:
+        faults: Optional fault-injection spec string (docs/FAULTS.md), e.g.
+            ``"link_down@1000:r3-r4,sm_drop:p=0.01"``.
+        fault_seed: Seed for the probabilistic fault realization; the same
+            (faults, fault_seed) pair reproduces the same fault history.
+    """
     design = get_design(design_name)
     sim_config = sim_config or SimulationConfig()
     cols = _pattern_cols(design, mesh_side)
@@ -46,7 +72,8 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
                                 seed=seed, stop_at=stop_at)
 
     return run_point(network_factory, traffic_factory, sim_config,
-                     injection_rate=injection_rate)
+                     injection_rate=injection_rate,
+                     fault_factory=_fault_factory(faults, fault_seed))
 
 
 def latency_curve(design_name: str, pattern_name: str, rates: List[float],
@@ -55,7 +82,9 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
                   dragonfly: Tuple[int, int, int] = DRAGONFLY_SMALL,
                   mix: Optional[PacketMix] = None,
                   tdd: Optional[int] = None,
-                  latency_cap: float = 4.0) -> Tuple[List[SweepPoint], float]:
+                  latency_cap: float = 4.0,
+                  faults: Optional[str] = None,
+                  fault_seed: int = 0) -> Tuple[List[SweepPoint], float]:
     """Latency-vs-injection curve for one design and pattern.
 
     Returns:
@@ -75,6 +104,7 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
                                 stop_at=stop_at)
 
     sweep = InjectionSweep(network_factory, traffic_factory, sim_config,
-                           rates, latency_cap=latency_cap)
+                           rates, latency_cap=latency_cap,
+                           fault_factory=_fault_factory(faults, fault_seed))
     points = sweep.run()
     return points, sweep.saturation_rate(points)

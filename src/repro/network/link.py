@@ -14,6 +14,7 @@ class Link:
     __slots__ = (
         "src", "src_port", "dst", "dst_port", "latency",
         "busy_until", "flit_cycles", "sm_cycles", "measure_from",
+        "up", "down_since",
     )
 
     def __init__(self, src: int, src_port: int, dst: int, dst_port: int,
@@ -31,10 +32,24 @@ class Link:
         self.sm_cycles = 0
         #: Cycle utilization accounting started.
         self.measure_from = 0
+        #: Fail-stop state: a dead link accepts no new packets or SMs.
+        #: Flits already streaming complete (the fault acts at link entry).
+        self.up = True
+        #: Cycle the link last went down (-1 when it never has).
+        self.down_since = -1
 
     def is_free(self, now: int) -> bool:
         """Whether a new packet may start traversing this cycle."""
-        return now > self.busy_until
+        return self.up and now > self.busy_until
+
+    def set_state(self, up: bool, now: int) -> bool:
+        """Change fail-stop state; returns True if the state changed."""
+        if self.up == up:
+            return False
+        self.up = up
+        if not up:
+            self.down_since = now
+        return True
 
     def occupy(self, now: int, flits: int) -> None:
         """Start a ``flits``-long packet transmission at ``now``."""

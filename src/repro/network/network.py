@@ -60,6 +60,12 @@ class Network:
         self.last_movement = 0
         self._allocation_offset = 0
 
+        #: Attached runtime fault injector (see :mod:`repro.faults`), if any.
+        self.fault_injector = None
+        #: Number of directed links currently failed (fast path for the
+        #: routing layer's dead-link filtering).
+        self.dead_link_count = 0
+
         self.spin = None
         self.control_planes = list(control_planes)
         if spin is not None and spin.enabled:
@@ -160,6 +166,54 @@ class Network:
 
     def note_movement(self) -> None:
         self.last_movement = self.now
+
+    # ------------------------------------------------------------------
+    # Runtime fault support (see repro.faults)
+    # ------------------------------------------------------------------
+    def set_link_state(self, src: int, src_port: int, up: bool,
+                       now: Optional[int] = None) -> bool:
+        """Fail (or revive) one directed link at runtime.
+
+        Updates the dead-link census, counts the event, and notifies the
+        routing algorithm so table-based schemes can recompute around the
+        failure.  Returns True if the state actually changed.
+
+        Raises:
+            ConfigurationError: If no such link exists.
+        """
+        link = self.links.get((src, src_port))
+        if link is None:
+            raise ConfigurationError("no such link", router=src,
+                                     port=src_port)
+        cycle = self.now if now is None else now
+        if not link.set_state(up, cycle):
+            return False
+        self.dead_link_count += -1 if up else 1
+        self.stats.count("link_up_events" if up else "link_down_events")
+        self.routing.on_link_state_change(link, up, cycle)
+        return True
+
+    def set_channel_state(self, a: int, b: int, up: bool,
+                          now: Optional[int] = None) -> int:
+        """Fail (or revive) every directed link between two routers.
+
+        Returns the number of directed links whose state changed.
+
+        Raises:
+            ConfigurationError: If the routers share no channel.
+        """
+        keys = [key for key, link in self.links.items()
+                if {link.src, link.dst} == {a, b}]
+        if not keys:
+            raise ConfigurationError("routers share no channel", a=a, b=b)
+        return sum(self.set_link_state(src, port, up, now)
+                   for src, port in keys)
+
+    def link_is_up(self, router_id: int, outport: int) -> bool:
+        """Whether a router's output port has an alive link (ejection and
+        injection ports are always up)."""
+        link = self.links.get((router_id, outport))
+        return link is None or link.up
 
     # ------------------------------------------------------------------
     # Introspection

@@ -80,14 +80,49 @@ class RoutingAlgorithm(ABC):
             packet.current_request = port
             return port
         candidates = self.candidate_outports(router, packet)
-        if not candidates:
+        if not candidates and not self.network.dead_link_count:
             raise RoutingError(
                 f"{self.name}: no candidate ports at router {router.id} "
                 f"for {packet!r}"
             )
+        if self.network.dead_link_count:
+            candidates = self._filter_dead_links(router, packet, candidates,
+                                                 now)
+            if not candidates:
+                packet.current_request = None
+                return None
         outport = self.select(router, packet, candidates, now)
         packet.current_request = outport
         return outport
+
+    def _filter_dead_links(self, router, packet: Packet,
+                           candidates: Sequence[int],
+                           now: int) -> Sequence[int]:
+        """Graceful degradation around runtime link failures.
+
+        Removes candidates whose output link is dead.  A packet that loses
+        some-but-not-all candidates is counted as *rerouted* (once); a
+        packet left with no alive candidate is *stranded* — it waits, and
+        the fault injector may reclaim it after its strand timeout.
+        """
+        out_links = router.out_links
+        alive = [port for port in candidates
+                 if (link := out_links.get(port)) is None or link.up]
+        state = packet.route_state
+        if alive and len(alive) == len(candidates):
+            state.pop("stranded_since", None)
+            return candidates
+        stats = self.network.stats
+        if not alive:
+            if "stranded_since" not in state:
+                state["stranded_since"] = now
+                stats.count("packets_stranded")
+            return alive
+        state.pop("stranded_since", None)
+        if not state.get("rerouted"):
+            state["rerouted"] = True
+            stats.count("reroutes")
+        return alive
 
     @abstractmethod
     def candidate_outports(self, router, packet: Packet) -> Sequence[int]:
@@ -160,6 +195,15 @@ class RoutingAlgorithm(ABC):
     def on_hop(self, packet: Packet, router, outport: int) -> None:
         """Per-hop state updates (e.g. VC-class increments)."""
 
+    def on_link_state_change(self, link, up: bool, now: int) -> None:
+        """A link failed or recovered at runtime (see repro.faults).
+
+        The base behaviour is a no-op: adaptive algorithms degrade
+        naturally through the dead-link candidate filter.  Table-based
+        algorithms override this to recompute their tables around the
+        failure (e.g. :class:`repro.routing.table.UpDownRouting`).
+        """
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -188,8 +232,11 @@ class RoutingAlgorithm(ABC):
         """
         if packet.reached_phase_target(router.id):
             return []
+        dead_links = self.network.dead_link_count
         targets = []
         for port in self.candidate_outports(router, packet):
+            if dead_links and not self.network.link_is_up(router.id, port):
+                continue  # a dead port can never grant progress
             neighbor, dst_port = router.out_neighbors[port]
             vcs = neighbor.vnet_slice(dst_port, packet.vnet)
             choices = [vcs[i] for i in self.vc_choices(packet, router, port)]

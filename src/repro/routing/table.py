@@ -15,7 +15,7 @@ precomputed distance table over the (router, may-still-go-up) state graph.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -43,6 +43,9 @@ class UpDownRouting(RoutingAlgorithm):
         #: target -> distance array indexed by router * 2 + phase
         #: (phase 0 = may still go up, 1 = down only).
         self._distance: Dict[int, List[int]] = {}
+        #: Directed hops (router, port) currently failed at runtime.
+        self._dead_hops: Set[Tuple[int, int]] = set()
+        self._infinity = 0
 
     def _setup(self) -> None:
         topology = self.topology
@@ -59,23 +62,34 @@ class UpDownRouting(RoutingAlgorithm):
             for port, (neighbor, _, _) in topology.neighbors(router_id).items():
                 self._is_up_hop[(router_id, port)] = rank(neighbor) < rank(router_id)
         self._distance = {}
-        self._precompute_distances()
+        self._dead_hops = set()
+        self._precompute_distances(strict=True)
 
-    def _precompute_distances(self) -> None:
+    def _precompute_distances(self, strict: bool) -> None:
         """BFS per target over the (router, phase) state graph, reversed.
 
         ``distance[target][router * 2 + phase]`` is the length of the
         shortest legal path from ``router`` (in the given phase) to
         ``target``; unreachable states hold a large sentinel.
+
+        Hops in ``_dead_hops`` (runtime link failures) are excluded.  With
+        ``strict`` (initial setup on a healthy fabric) unreachability is an
+        error; during a fault-driven recompute it merely strands the
+        affected (router, target) pairs — their packets wait for a link_up
+        or are reclaimed by the fault injector.
         """
         topology = self.topology
         num = topology.num_routers
         infinity = num * 4 + 1
+        self._infinity = infinity
+        dead = self._dead_hops
         # Reverse edges: to relax (r, phase) we need predecessors (s, phase')
         # such that the hop s->r is legal from phase'.
         predecessors: List[List[int]] = [[] for _ in range(num * 2)]
         for router_id in range(num):
             for port, (neighbor, _, _) in topology.neighbors(router_id).items():
+                if (router_id, port) in dead:
+                    continue
                 if self._is_up_hop[(router_id, port)]:
                     # up hop: only legal from phase 0, stays in phase 0
                     predecessors[neighbor * 2 + 0].append(router_id * 2 + 0)
@@ -95,11 +109,29 @@ class UpDownRouting(RoutingAlgorithm):
                     if dist[pred] > dist[state] + 1:
                         dist[pred] = dist[state] + 1
                         queue.append(pred)
-            for router_id in range(num):
-                if dist[router_id * 2] >= infinity:
-                    raise RoutingError(
-                        f"up*/down* cannot reach {target} from {router_id}")
+            if strict:
+                for router_id in range(num):
+                    if dist[router_id * 2] >= infinity:
+                        raise RoutingError(
+                            f"up*/down* cannot reach {target} from {router_id}")
             self._distance[target] = dist
+
+    def on_link_state_change(self, link, up: bool, now: int) -> None:
+        """Recompute the legal-path distance table around a failed link.
+
+        The up/down orientation is kept (re-orienting the spanning tree at
+        runtime is a reconfiguration protocol of its own); only the distance
+        relaxation changes.  Pairs left without a legal up*/down* path are
+        stranded until the link revives.
+        """
+        hop = (link.src, link.src_port)
+        if up:
+            self._dead_hops.discard(hop)
+        else:
+            self._dead_hops.add(hop)
+        self._precompute_distances(strict=False)
+        if self.network is not None:
+            self.network.stats.count("routing_recomputes")
 
     # ------------------------------------------------------------------
     # Routing interface
@@ -111,9 +143,16 @@ class UpDownRouting(RoutingAlgorithm):
         phase = 1 if packet.route_state.get(_WENT_DOWN) else 0
         dist = self._distance[packet.routing_target]
         here = dist[router.id * 2 + phase]
+        if here >= self._infinity:
+            # No legal up*/down* path from here under the current fault set:
+            # the packet is stranded (base-class dead-link filter counts it).
+            return ()
+        dead = self._dead_hops
         candidates = []
         for port in sorted(router.out_neighbors):
             neighbor, _ = router.out_neighbors[port]
+            if dead and (router.id, port) in dead:
+                continue
             up = self._is_up_hop[(router.id, port)]
             if up and phase == 1:
                 continue

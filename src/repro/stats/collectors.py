@@ -54,8 +54,10 @@ class NetworkStats:
         self.packets_created = 0
         self.packets_injected = 0
         self.packets_delivered = 0
+        self.packets_lost = 0
         self.measured_created = 0
         self.measured_delivered = 0
+        self.measured_lost = 0
         self.measured_flits_created = 0
         self.measured_flits_delivered = 0
         self.latencies: List[int] = []
@@ -102,6 +104,18 @@ class NetworkStats:
             self.latencies.append(packet.latency())
             self.network_latencies.append(packet.network_latency())
             self.hop_counts.append(packet.hops)
+
+    def record_loss(self, packet, now: int) -> None:
+        """A packet was destroyed in flight (fault injection, reclamation).
+
+        Lost measured packets still count toward ``measured_created``, so
+        :meth:`delivery_ratio` degrades honestly under faults instead of
+        silently ignoring the casualties.
+        """
+        self.packets_lost += 1
+        self.events["packets_lost"] += 1
+        if packet.measured:
+            self.measured_lost += 1
 
     def count(self, event: str, amount: int = 1) -> None:
         """Increment a named event counter."""

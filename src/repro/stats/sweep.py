@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SimulationConfig
+from repro.errors import SimulationError
 from repro.sim.engine import Simulator
 
 
@@ -29,6 +30,8 @@ class SweepPoint:
     delivered: int
     events: Dict[str, int] = field(default_factory=dict)
     link_utilization: Tuple[float, float, float] = (0.0, 0.0, 1.0)
+    #: Packets destroyed in flight (fault injection / stranded reclamation).
+    packets_lost: int = 0
 
     def saturated(self, zero_load_latency: float,
                   latency_cap: float = 4.0,
@@ -46,7 +49,9 @@ class SweepPoint:
 def run_point(network_factory: Callable[[], object],
               traffic_factory: Callable[[object, Optional[int]], object],
               sim_config: SimulationConfig,
-              injection_rate: float = 0.0) -> Tuple[object, SweepPoint]:
+              injection_rate: float = 0.0,
+              fault_factory: Optional[Callable[[], object]] = None,
+              raise_on_wedge: bool = False) -> Tuple[object, SweepPoint]:
     """Simulate one configuration at one load.
 
     Args:
@@ -55,6 +60,14 @@ def run_point(network_factory: Callable[[], object],
             traffic source (already bound to the rate).
         sim_config: Warmup/measure/drain windows, wedge threshold.
         injection_rate: Recorded in the resulting point (informational).
+        fault_factory: Optional ``() -> FaultInjector`` building the fault
+            injection component (docs/FAULTS.md); it is bound to the network
+            and scheduled *between* the traffic source and the network so
+            faults land before the same cycle's control planes react.
+        raise_on_wedge: Raise :class:`~repro.errors.SimulationError` with a
+            wedge snapshot instead of returning a ``wedged=True`` point.
+            Use in tests/experiments where an unrecovered deadlock is a
+            failure, not a data point.
 
     Returns:
         The simulated network (for post-hoc inspection) and its point.
@@ -64,6 +77,10 @@ def run_point(network_factory: Callable[[], object],
     stop_at = sim_config.warmup_cycles + sim_config.measure_cycles
     traffic = traffic_factory(network, stop_at)
     simulator.register(traffic)
+    if fault_factory is not None:
+        injector = fault_factory()
+        injector.bind(network)
+        simulator.register(injector)
     simulator.register(network)
     network.stats.open_window(sim_config.warmup_cycles, stop_at)
 
@@ -84,6 +101,10 @@ def run_point(network_factory: Callable[[], object],
             and network.packets_in_flight() > 0
         ):
             wedged = True
+            if raise_on_wedge:
+                raise SimulationError(
+                    "network wedged: no flit moved within the abort window",
+                    **_wedge_snapshot(network, simulator.cycle, abort_after))
             break
 
     stats = network.stats
@@ -99,8 +120,33 @@ def run_point(network_factory: Callable[[], object],
         delivered=stats.measured_delivered,
         events=dict(stats.events),
         link_utilization=network.mean_link_utilization(),
+        packets_lost=stats.packets_lost,
     )
     return network, point
+
+
+def _wedge_snapshot(network, cycle: int, abort_after: int) -> Dict[str, object]:
+    """Diagnostic context for an unrecovered-deadlock abort.
+
+    Names the stuck routers and (when SPIN is attached) their FSM states so
+    the failure message alone localizes the wedge.
+    """
+    stuck_routers = sorted(
+        router.id for router in network.routers if router.active_vcs)
+    context: Dict[str, object] = {
+        "cycle": cycle,
+        "idle_cycles": abort_after,
+        "packets_in_flight": network.packets_in_flight(),
+        "stuck_routers": stuck_routers[:8],
+        "dead_links": network.dead_link_count,
+    }
+    if network.spin is not None:
+        context["fsm_states"] = {
+            router_id: network.spin.controller_of(router_id).state.name
+            for router_id in stuck_routers[:8]
+        }
+        context["frozen_vcs"] = network.spin.frozen_vc_count()
+    return context
 
 
 class InjectionSweep:
@@ -114,18 +160,23 @@ class InjectionSweep:
         latency_cap: Saturation multiplier on the zero-load latency.
         points_past_saturation: Extra points to run beyond saturation (to
             show the divergence in latency curves).
+        fault_factory: Optional ``() -> FaultInjector`` applied to every
+            point of the sweep (each point gets a fresh injector so the
+            fault schedule replays identically at every load).
     """
 
     def __init__(self, network_factory, traffic_factory,
                  sim_config: SimulationConfig, rates: List[float],
                  latency_cap: float = 4.0,
-                 points_past_saturation: int = 0) -> None:
+                 points_past_saturation: int = 0,
+                 fault_factory=None) -> None:
         self.network_factory = network_factory
         self.traffic_factory = traffic_factory
         self.sim_config = sim_config
         self.rates = list(rates)
         self.latency_cap = latency_cap
         self.points_past_saturation = points_past_saturation
+        self.fault_factory = fault_factory
 
     def run(self) -> List[SweepPoint]:
         """Simulate ascending loads; stop shortly after saturation."""
@@ -139,6 +190,7 @@ class InjectionSweep:
                     network, r, stop_at),
                 self.sim_config,
                 injection_rate=rate,
+                fault_factory=self.fault_factory,
             )
             points.append(point)
             if zero_load is None:

@@ -1,0 +1,169 @@
+"""Property-based tests for fault schedules and fault-tolerant recovery.
+
+Three families of properties (docs/FAULTS.md):
+
+* grammar — every valid :class:`FaultSchedule` survives a describe/parse
+  round trip unchanged, so specs are a faithful serialization;
+* determinism — a (spec, fault-seed) pair fully determines every fault
+  decision: two identical runs produce identical event counters;
+* liveness — connectivity-preserving link failures and bounded SM-drop
+  budgets never stop SPIN from resolving a crafted deadlock, and no run
+  raises (a ProtocolError would propagate and fail the example).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SpinParams
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    LinkStateEvent,
+    RouterStateEvent,
+    SmFaultPolicy,
+    parse_fault_spec,
+)
+from repro.sim.engine import Simulator
+
+from tests.conftest import (
+    craft_ring_deadlock,
+    craft_square_deadlock,
+    make_mesh_network,
+    make_ring_network,
+)
+
+# Dyadic probabilities and ``%g``-stable ints keep describe() lossless.
+_PROBS = st.sampled_from([0.0625, 0.125, 0.25, 0.5, 0.75, 1.0])
+_KINDS = st.sampled_from([None, "probe", "move", "probe_move", "kill_move"])
+_CYCLES = st.integers(0, 99_999)
+
+
+@st.composite
+def link_events(draw):
+    a = draw(st.integers(0, 63))
+    b = draw(st.integers(0, 63).filter(lambda x: x != a))
+    return LinkStateEvent(cycle=draw(_CYCLES), a=a, b=b,
+                          up=draw(st.booleans()))
+
+
+@st.composite
+def router_events(draw):
+    return RouterStateEvent(cycle=draw(_CYCLES),
+                            router=draw(st.integers(0, 63)),
+                            up=draw(st.booleans()))
+
+
+@st.composite
+def sm_policies(draw):
+    action = draw(st.sampled_from(["drop", "delay", "corrupt"]))
+    after = draw(st.integers(0, 5000))
+    until = draw(st.one_of(st.none(), st.integers(after + 1, after + 5000)))
+    return SmFaultPolicy(
+        action=action,
+        probability=draw(_PROBS),
+        kind=draw(_KINDS),
+        after=after,
+        until=until,
+        count=draw(st.one_of(st.none(), st.integers(1, 1000))),
+        delay=draw(st.integers(1, 64)) if action == "delay" else 0,
+    )
+
+
+@st.composite
+def schedules(draw):
+    timed = draw(st.lists(st.one_of(link_events(), router_events()),
+                          max_size=4))
+    policies = draw(st.lists(sm_policies(), max_size=3))
+    return FaultSchedule(timed_events=tuple(timed),
+                         sm_policies=tuple(policies))
+
+
+class TestSpecRoundTrip:
+    @given(schedule=schedules())
+    @settings(max_examples=200, deadline=None)
+    def test_describe_parse_round_trip(self, schedule):
+        """describe() is a lossless, canonical serialization."""
+        if schedule.empty:
+            return  # the empty spec string is (deliberately) not parsable
+        assert parse_fault_spec(schedule.describe()) == schedule
+
+    @given(schedule=schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_describe_is_idempotent(self, schedule):
+        if schedule.empty:
+            return
+        once = schedule.describe()
+        assert parse_fault_spec(once).describe() == once
+
+
+def _run_faulty_ring(spec, fault_seed, m=6, dst_ahead=2, cycles=3000):
+    network = make_ring_network(m=m, spin=SpinParams(tdd=16))
+    injector = FaultInjector(parse_fault_spec(spec), seed=fault_seed)
+    injector.bind(network)
+    packets = craft_ring_deadlock(network, dst_ahead=dst_ahead)
+    sim = Simulator()
+    sim.register(injector)
+    sim.register(network)
+    sim.run(cycles)
+    return network, packets
+
+
+class TestDeterminism:
+    @given(fault_seed=st.integers(0, 10_000),
+           p=st.sampled_from([0.05, 0.2, 0.5]),
+           kind=st.sampled_from(["", ":kind=probe", ":kind=move"]))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_history(self, fault_seed, p, kind):
+        """A (spec, fault-seed) pair pins down every probabilistic fault
+        decision: both runs see identical counters and deliveries."""
+        spec = f"sm_drop:p={p}{kind}"
+        net_a, _ = _run_faulty_ring(spec, fault_seed)
+        net_b, _ = _run_faulty_ring(spec, fault_seed)
+        assert dict(net_a.stats.events) == dict(net_b.stats.events)
+        assert net_a.stats.packets_delivered == net_b.stats.packets_delivered
+
+
+# Single links of a 4x4 mesh whose loss keeps the graph connected and
+# leaves every crafted-square destination minimally reachable.
+_SAFE_MESH_LINKS = [(0, 1), (2, 3), (3, 7), (12, 13), (14, 15), (0, 4),
+                    (8, 12), (11, 15)]
+
+
+class TestFaultyLiveness:
+    @given(link=st.sampled_from(_SAFE_MESH_LINKS),
+           cycle=st.integers(0, 64), seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_connectivity_preserving_link_loss_recoverable(
+            self, link, cycle, seed):
+        """Any single connectivity-preserving link failure leaves a crafted
+        mesh deadlock fully recoverable by SPIN."""
+        network = make_mesh_network(side=4, spin=SpinParams(tdd=24),
+                                    seed=seed)
+        a, b = link
+        injector = FaultInjector(
+            parse_fault_spec(f"link_down@{cycle}:r{a}-r{b}"), seed=seed)
+        injector.bind(network)
+        packets = craft_square_deadlock(network)
+        sim = Simulator()
+        sim.register(injector)
+        sim.register(network)
+        done = sim.run_until(
+            lambda: network.stats.packets_delivered == len(packets),
+            max_cycles=6000)
+        assert done, dict(network.stats.events)
+        assert network.spin.frozen_vc_count() == 0
+        assert network.dead_link_count == 2
+
+    @given(budget=st.integers(1, 24),
+           kind=st.sampled_from(["probe", "move", ""]),
+           fault_seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_bounded_sm_drop_budget_still_recovers(self, budget, kind,
+                                                   fault_seed):
+        """Any finite SM-drop budget delays but never defeats recovery."""
+        scope = f":kind={kind}" if kind else ""
+        network, packets = _run_faulty_ring(
+            f"sm_drop:n={budget}{scope}", fault_seed, cycles=8000)
+        events = dict(network.stats.events)
+        assert network.stats.packets_delivered == len(packets), events
+        assert network.spin.frozen_vc_count() == 0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import ConfigurationError, FaultInjectionError
 
 
 class TestParser:
@@ -37,10 +38,74 @@ class TestRunCommand:
         assert "delivery ratio" in out
 
     def test_unknown_design_fails_loudly(self):
-        from repro.errors import ConfigurationError
-
         with pytest.raises(ConfigurationError):
             main(["run", "--design", "mesh:bogus", "--rate", "0.1"])
+
+    def test_design_alias_accepted(self, capsys):
+        code = main([
+            "run", "--design", "spin_mesh", "--rate", "0.05",
+            "--mesh-side", "4", "--warmup", "100", "--measure", "400",
+            "--drain", "400", "--tdd", "32",
+        ])
+        assert code == 0
+        assert "mean latency" in capsys.readouterr().out
+
+    def test_faulty_run_prints_fault_counters(self, capsys):
+        code = main([
+            "run", "--design", "spin_mesh", "--rate", "0.05",
+            "--mesh-side", "4", "--warmup", "100", "--measure", "500",
+            "--drain", "500", "--tdd", "32",
+            "--faults", "link_down@200:r1-r2,sm_drop:p=0.05",
+            "--fault-seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "watchdog fires" in out
+        assert "packets lost" in out
+
+
+class TestRunValidation:
+    BASE = ["run", "--design", "spin_mesh"]
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="offered load"):
+            main(self.BASE + ["--rate", "0.0"])
+
+    def test_rate_capped_at_one(self):
+        with pytest.raises(ConfigurationError, match="offered load"):
+            main(self.BASE + ["--rate", "1.5"])
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError, match="--seed"):
+            main(self.BASE + ["--rate", "0.1", "--seed", "-3"])
+
+    def test_nonpositive_tdd_rejected(self):
+        with pytest.raises(ConfigurationError, match="--tdd"):
+            main(self.BASE + ["--rate", "0.1", "--tdd", "0"])
+
+    def test_malformed_dragonfly_rejected(self):
+        with pytest.raises(ConfigurationError, match="--dragonfly"):
+            main(["run", "--design", "dfly:minimal-spin-1vc",
+                  "--rate", "0.1", "--dragonfly", "2,4"])
+        with pytest.raises(ConfigurationError, match="--dragonfly"):
+            main(["run", "--design", "dfly:minimal-spin-1vc",
+                  "--rate", "0.1", "--dragonfly", "2,x,4"])
+        with pytest.raises(ConfigurationError, match="--dragonfly"):
+            main(["run", "--design", "dfly:minimal-spin-1vc",
+                  "--rate", "0.1", "--dragonfly", "2,0,4"])
+
+    def test_bad_fault_spec_rejected_before_simulation(self):
+        with pytest.raises(FaultInjectionError):
+            main(self.BASE + ["--rate", "0.1", "--faults", "warp_core_breach"])
+
+    def test_negative_fault_seed_rejected(self):
+        with pytest.raises(ConfigurationError, match="--fault-seed"):
+            main(self.BASE + ["--rate", "0.1", "--fault-seed", "-1"])
+
+    def test_sweep_rates_validated(self):
+        with pytest.raises(ConfigurationError, match="offered load"):
+            main(["sweep", "--design", "spin_mesh", "--rates", "0.05,1.2"])
 
 
 class TestSweepCommand:
