@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Sweep-engine benchmark: serial vs parallel wall-clock on one mesh sweep.
+
+Runs the same list of :class:`ExperimentSpec` points twice — once serially,
+once across ``--jobs`` worker processes — verifies the two runs produce
+*identical* points, and writes a ``BENCH_sweep.json`` record::
+
+    {
+      "schema": "repro.bench-sweep/v1",
+      "design": ..., "pattern": ..., "rates": [...], "jobs": N,
+      "points": n, "cycles": total-simulated-cycles,
+      "serial":   {"wall_time_s": ..., "cycles_per_sec": ..., "points_per_sec": ...},
+      "parallel": {"wall_time_s": ..., "cycles_per_sec": ..., "points_per_sec": ...},
+      "speedup": serial / parallel,
+      "identical_points": true
+    }
+
+This file is the start of the repo's measurable perf trajectory: every PR
+that touches the hot path can re-run it and diff the JSON.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 4 \
+        --output BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct invocation without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import SimulationConfig
+from repro.harness.parallel import ParallelRunner
+from repro.harness.runner import ExperimentSpec
+
+BENCH_SCHEMA = "repro.bench-sweep/v1"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--design", default="spin_mesh")
+    parser.add_argument("--pattern", default="uniform")
+    parser.add_argument("--rates",
+                        default="0.02,0.04,0.06,0.08,0.10,0.12,0.14,0.16",
+                        help="comma-separated offered loads")
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="worker processes for the parallel leg")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--mesh-side", type=int, default=8)
+    parser.add_argument("--tdd", type=int, default=32)
+    parser.add_argument("--warmup", type=int, default=200)
+    parser.add_argument("--measure", type=int, default=1000)
+    parser.add_argument("--drain", type=int, default=800)
+    parser.add_argument("--abort-cycles", type=int, default=1000)
+    parser.add_argument("--output", default="BENCH_sweep.json",
+                        metavar="FILE.json")
+    return parser
+
+
+def _leg(runner: ParallelRunner, specs):
+    """Time one execution leg; returns (points, wall_seconds)."""
+    started = time.perf_counter()
+    results = runner.run(specs)
+    wall = time.perf_counter() - started
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise SystemExit(
+            f"benchmark leg failed on {len(failures)} point(s); first: "
+            f"{failures[0].error}")
+    return [r.point for r in results], wall
+
+
+def _stats(points, wall: float) -> dict:
+    cycles = sum(point.cycles for point in points)
+    return {
+        "wall_time_s": round(wall, 3),
+        "cycles_per_sec": round(cycles / wall, 1) if wall > 0 else None,
+        "points_per_sec": round(len(points) / wall, 3) if wall > 0 else None,
+    }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    rates = [float(x) for x in args.rates.split(",")]
+    sim = SimulationConfig(
+        warmup_cycles=args.warmup, measure_cycles=args.measure,
+        drain_cycles=args.drain, deadlock_abort_cycles=args.abort_cycles)
+    base = ExperimentSpec(design=args.design, pattern=args.pattern,
+                          injection_rate=rates[0], seed=args.seed,
+                          mesh_side=args.mesh_side, tdd=args.tdd, sim=sim)
+    specs = base.curve(rates)
+
+    serial_points, serial_wall = _leg(
+        ParallelRunner(max_workers=1, backend="serial"), specs)
+    parallel_points, parallel_wall = _leg(
+        ParallelRunner(max_workers=args.jobs, backend="process"), specs)
+    identical = serial_points == parallel_points
+
+    record = {
+        "schema": BENCH_SCHEMA,
+        "design": base.design,
+        "pattern": args.pattern,
+        "rates": rates,
+        "seed": args.seed,
+        "mesh_side": args.mesh_side,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "points": len(serial_points),
+        "cycles": sum(point.cycles for point in serial_points),
+        "serial": _stats(serial_points, serial_wall),
+        "parallel": _stats(parallel_points, parallel_wall),
+        "speedup": (round(serial_wall / parallel_wall, 3)
+                    if parallel_wall > 0 else None),
+        "identical_points": identical,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2,
+                                            sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if not identical:
+        print("ERROR: serial and parallel points diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

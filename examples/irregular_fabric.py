@@ -44,9 +44,9 @@ def run(design_name, routing, spin):
         return Network(make_topology(), NetworkConfig(vcs_per_vnet=1),
                        routing(), spin=spin, seed=7)
 
-    def traffic_factory(network, stop_at):
+    def traffic_factory(network, rate, stop_at):
         pattern = make_pattern("uniform", network.topology.num_nodes)
-        return SyntheticTraffic(network, pattern, RATE, seed=7,
+        return SyntheticTraffic(network, pattern, rate, seed=7,
                                 stop_at=stop_at)
 
     network, point = run_point(network_factory, traffic_factory, SIM,

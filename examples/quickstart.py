@@ -34,10 +34,10 @@ def build_network():
 RATE = 0.12  # the saturation edge of this 1-VC substrate
 
 
-def build_traffic(network, stop_at):
+def build_traffic(network, rate, stop_at):
     """Uniform random traffic at a deadlock-prone load (1/5-flit mix)."""
     pattern = make_pattern("uniform", network.topology.num_nodes)
-    return SyntheticTraffic(network, pattern, injection_rate=RATE,
+    return SyntheticTraffic(network, pattern, injection_rate=rate,
                             seed=1, stop_at=stop_at)
 
 

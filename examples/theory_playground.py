@@ -45,9 +45,9 @@ def run_buffered(name, topology_factory, routing_factory, vcs, spin,
         return Network(topology_factory(), NetworkConfig(vcs_per_vnet=vcs),
                        routing_factory(), spin=spin, seed=SEED)
 
-    def traffic_factory(network, stop_at):
+    def traffic_factory(network, rate, stop_at):
         pattern = make_pattern("uniform", network.topology.num_nodes)
-        return SyntheticTraffic(network, pattern, RATE, seed=SEED,
+        return SyntheticTraffic(network, pattern, rate, seed=SEED,
                                 stop_at=stop_at, mix=PacketMix.single(1))
 
     network, point = run_point(network_factory, traffic_factory, SIM,

@@ -22,9 +22,15 @@ See README.md for the full tour and DESIGN.md for the architecture.
 from repro.config import NetworkConfig, SimulationConfig, SpinParams
 from repro.network.network import Network
 from repro.sim.engine import Simulator
-from repro.stats.sweep import InjectionSweep, SweepPoint, run_point
+from repro.stats.results import load_results, save_results
+from repro.stats.sweep import (
+    InjectionSweep,
+    SweepPoint,
+    run_point,
+    simulate_point,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "NetworkConfig",
@@ -35,8 +41,23 @@ __all__ = [
     "InjectionSweep",
     "SweepPoint",
     "run_point",
+    "simulate_point",
+    "save_results",
+    "load_results",
+    "ExperimentSpec",
+    "ParallelRunner",
     "quick_mesh_simulation",
 ]
+
+
+def __getattr__(name):
+    # Lazy: repro.harness pulls in topology/routing modules; keep
+    # `import repro` light while still exposing the headline API.
+    if name in ("ExperimentSpec", "ParallelRunner"):
+        import repro.harness as harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 def quick_mesh_simulation(injection_rate: float = 0.1, side: int = 4,
@@ -73,10 +94,10 @@ def quick_mesh_simulation(injection_rate: float = 0.1, side: int = 4,
             seed=seed,
         )
 
-    def traffic_factory(network, stop_at):
+    def traffic_factory(network, rate, stop_at):
         return SyntheticTraffic(
             network, make_pattern(pattern, side * side, cols=side),
-            injection_rate, seed=seed, stop_at=stop_at)
+            rate, seed=seed, stop_at=stop_at)
 
     _, point = run_point(network_factory, traffic_factory, sim_config,
                          injection_rate=injection_rate)

@@ -7,6 +7,8 @@ Usage examples::
         --pattern transpose --rate 0.15
     python -m repro.cli sweep --design mesh:westfirst-3vc --pattern uniform \\
         --rates 0.05,0.1,0.15,0.2,0.3
+    python -m repro.cli sweep --design spin_mesh --pattern uniform \\
+        --rates 0.05,0.1,0.15 --jobs 4 --output out.json
     python -m repro.cli area --radix 5 --vcs 3
 """
 
@@ -19,10 +21,11 @@ from typing import List, Optional
 from repro.config import SimulationConfig
 from repro.errors import ConfigurationError, ReproError
 from repro.faults import parse_fault_spec
-from repro.harness.configs import ALL_DESIGNS, get_design
+from repro.harness.configs import ALL_DESIGNS, get_design, resolve_design_name
 from repro.harness.runner import latency_curve, run_design
 from repro.harness.tables import format_table
 from repro.power.model import AreaModel, EnergyModel, RouterSpec
+from repro.stats.results import save_results
 
 
 def _sim_config(args) -> SimulationConfig:
@@ -73,6 +76,8 @@ def _validate_run_args(args) -> None:
     if args.fault_seed < 0:
         raise ConfigurationError("--fault-seed must be >= 0",
                                  fault_seed=args.fault_seed)
+    if getattr(args, "jobs", 1) < 1:
+        raise ConfigurationError("--jobs must be >= 1", jobs=args.jobs)
     if args.faults:
         parse_fault_spec(args.faults)  # raises FaultInjectionError on typos
 
@@ -148,13 +153,14 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    get_design(args.design)  # fail fast with the full list on a typo
     _validate_run_args(args)
     rates = [float(x) for x in args.rates.split(",")]
     dragonfly = _parse_dragonfly(args.dragonfly)
     points, saturation = latency_curve(
         args.design, args.pattern, rates, _sim_config(args), seed=args.seed,
         mesh_side=args.mesh_side, dragonfly=dragonfly, tdd=args.tdd,
-        faults=args.faults, fault_seed=args.fault_seed)
+        faults=args.faults, fault_seed=args.fault_seed, jobs=args.jobs)
     rows = [
         [p.injection_rate, round(p.mean_latency, 1), round(p.throughput, 4),
          round(p.delivery_ratio, 3), p.wedged, p.events.get("spins", 0)]
@@ -165,6 +171,21 @@ def cmd_sweep(args) -> int:
          "Spins"],
         rows, title=f"{args.design} / {args.pattern}"))
     print(f"\nsaturation rate: {saturation}")
+    if args.output:
+        # The meta block is deliberately deterministic (no timestamps, no
+        # worker count), so the same sweep writes byte-identical files
+        # regardless of --jobs.
+        meta = {
+            "design": resolve_design_name(args.design),
+            "pattern": args.pattern,
+            "seed": args.seed,
+            "rates": rates,
+            "saturation_rate": saturation,
+            "faults": args.faults,
+            "fault_seed": args.fault_seed,
+        }
+        path = save_results(args.output, points, meta)
+        print(f"wrote {len(points)} points to {path}")
     return 0
 
 
@@ -202,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(sweep_parser)
     sweep_parser.add_argument("--rates", required=True,
                               help="comma-separated offered loads")
+    sweep_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="worker processes (1 = serial; results "
+                              "are identical either way)")
+    sweep_parser.add_argument("--output", default=None, metavar="FILE.json",
+                              help="write the points as a "
+                              "repro.sweep-results/v1 JSON file")
 
     area_parser = sub.add_parser("area", help="router cost model")
     area_parser.add_argument("--radix", type=int, default=5)

@@ -175,6 +175,10 @@ class SimulationConfig:
             this many consecutive cycles, the run is declared wedged and
             stopped early (used to detect unrecovered deadlocks in baseline
             designs).  ``0`` disables the check.
+        wedge_poll_interval: How many cycles the measure/drain loop
+            simulates between wedge checks.  Smaller values detect a wedge
+            sooner (tighter abort latency) at the cost of more Python-level
+            loop overhead; the former hardcoded value was 200.
     """
 
     warmup_cycles: int = 1_000
@@ -182,12 +186,40 @@ class SimulationConfig:
     drain_cycles: int = 2_000
     seed: int = 1
     deadlock_abort_cycles: int = 0
+    wedge_poll_interval: int = 200
 
     def __post_init__(self) -> None:
         if min(self.warmup_cycles, self.measure_cycles, self.drain_cycles) < 0:
             raise ConfigurationError("cycle counts must be non-negative")
+        if self.wedge_poll_interval < 1:
+            raise ConfigurationError("wedge_poll_interval must be >= 1")
 
     @property
     def total_cycles(self) -> int:
         """Total number of cycles one run simulates."""
         return self.warmup_cycles + self.measure_cycles + self.drain_cycles
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; exact inverse of :meth:`from_dict`."""
+        return {
+            "warmup_cycles": self.warmup_cycles,
+            "measure_cycles": self.measure_cycles,
+            "drain_cycles": self.drain_cycles,
+            "seed": self.seed,
+            "deadlock_abort_cycles": self.deadlock_abort_cycles,
+            "wedge_poll_interval": self.wedge_poll_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Rebuild from :meth:`to_dict` output (validates on construction)."""
+        known = {
+            "warmup_cycles", "measure_cycles", "drain_cycles", "seed",
+            "deadlock_abort_cycles", "wedge_poll_interval",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SimulationConfig field(s) {sorted(unknown)}",
+                known=sorted(known))
+        return cls(**data)

@@ -30,7 +30,11 @@ from repro.faults.events import (
     FaultSchedule,
 )
 from repro.faults.injector import FaultInjector
-from repro.faults.spec import format_fault_spec, parse_fault_spec
+from repro.faults.spec import (
+    canonical_fault_spec,
+    format_fault_spec,
+    parse_fault_spec,
+)
 
 __all__ = [
     "FaultInjector",
@@ -38,6 +42,7 @@ __all__ = [
     "LinkStateEvent",
     "RouterStateEvent",
     "SmFaultPolicy",
+    "canonical_fault_spec",
     "format_fault_spec",
     "parse_fault_spec",
 ]

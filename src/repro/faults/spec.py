@@ -92,6 +92,22 @@ def format_fault_spec(schedule: FaultSchedule) -> str:
     return schedule.describe()
 
 
+def canonical_fault_spec(spec: Optional[str]) -> Optional[str]:
+    """Validate a fault spec and return its canonical form.
+
+    ``None``/empty stays ``None`` (fault-free).  Anything else is parsed —
+    raising :class:`~repro.errors.FaultInjectionError` on typos before any
+    simulation — and re-described, so equivalent spellings of the same
+    schedule serialize identically.  :class:`repro.harness.ExperimentSpec`
+    normalizes its ``faults`` field through this at construction time,
+    which is also what keeps fault experiments picklable: the *string*
+    crosses the process boundary, never the parsed schedule.
+    """
+    if not spec:
+        return None
+    return format_fault_spec(parse_fault_spec(spec))
+
+
 def _parse_link_event(name: str, cycle: Optional[int], args: List[str],
                       event: str) -> LinkStateEvent:
     if cycle is None:

@@ -5,9 +5,16 @@ from repro.harness.configs import (
     MESH_DESIGNS,
     DRAGONFLY_DESIGNS,
     get_design,
+    resolve_design_name,
     build_network,
 )
-from repro.harness.runner import latency_curve, run_design
+from repro.harness.parallel import ParallelRunner, SpecResult
+from repro.harness.runner import (
+    ExperimentSpec,
+    latency_curve,
+    run_design,
+    spec_grid,
+)
 from repro.harness.tables import format_table
 from repro.harness.theories import TABLE_I, TheoryRow
 
@@ -16,7 +23,12 @@ __all__ = [
     "MESH_DESIGNS",
     "DRAGONFLY_DESIGNS",
     "get_design",
+    "resolve_design_name",
     "build_network",
+    "ExperimentSpec",
+    "ParallelRunner",
+    "SpecResult",
+    "spec_grid",
     "latency_curve",
     "run_design",
     "format_table",

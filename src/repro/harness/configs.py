@@ -149,16 +149,25 @@ DESIGN_ALIASES: Dict[str, str] = {
 }
 
 
-def get_design(name: str) -> DesignConfig:
-    """Look up a design by registry name (aliases accepted)."""
-    name = DESIGN_ALIASES.get(name, name)
-    try:
-        return ALL_DESIGNS[name]
-    except KeyError:
+def resolve_design_name(name: str) -> str:
+    """Canonical registry name for a design (aliases resolved).
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names, so
+    a declarative :class:`~repro.harness.runner.ExperimentSpec` fails at
+    construction — before any worker process is spawned — and serialized
+    specs/results always carry the canonical name rather than an alias.
+    """
+    resolved = DESIGN_ALIASES.get(name, name)
+    if resolved not in ALL_DESIGNS:
         raise ConfigurationError(
             f"unknown design {name!r}; known: {sorted(ALL_DESIGNS)} "
-            f"(aliases: {sorted(DESIGN_ALIASES)})"
-        ) from None
+            f"(aliases: {sorted(DESIGN_ALIASES)})")
+    return resolved
+
+
+def get_design(name: str) -> DesignConfig:
+    """Look up a design by registry name (aliases accepted)."""
+    return ALL_DESIGNS[resolve_design_name(name)]
 
 
 def build_network(design, seed: int = 1, mesh_side: int = MESH_SIDE,

@@ -1,0 +1,221 @@
+"""Parallel sweep engine: fan :class:`ExperimentSpec` lists across processes.
+
+The paper's evaluation grid (~20 designs x 8 patterns x ~15 rates) is
+embarrassingly parallel: every point builds a fresh network from a
+picklable spec, so points never share state and a process pool scales the
+sweep across cores without perturbing a single measurement.  Determinism
+is structural — each worker runs exactly the code a serial driver runs
+(:meth:`ExperimentSpec.run`), seeded entirely by the spec — so ``--jobs N``
+reproduces ``--jobs 1`` bit for bit.
+
+Failure containment: a worker that raises, crashes, or exceeds the
+per-point timeout yields a *failed* :class:`SpecResult` (spec + error
+text), never a lost job.  Ordered collection keeps results aligned with
+the submitted specs regardless of completion order.
+
+:meth:`ParallelRunner.run_curve` adds the latency-curve policy: points are
+collected in ascending-rate order through the same
+:class:`~repro.stats.sweep.SaturationCursor` a serial sweep uses, and once
+the curve is cut, still-pending higher rates are cancelled (early-stop) —
+the returned prefix is identical to a serial sweep's output.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.harness.runner import ExperimentSpec
+from repro.stats.sweep import SaturationCursor, SweepPoint
+
+#: Accepted execution backends.
+BACKENDS = ("process", "serial")
+
+
+def _execute_spec(spec: ExperimentSpec):
+    """Worker entry point: simulate one spec (module-level: picklable)."""
+    started = time.perf_counter()
+    _, point = spec.run()
+    return point, time.perf_counter() - started
+
+
+@dataclass
+class SpecResult:
+    """Outcome of one spec: a point, or a failure record — never nothing.
+
+    Attributes:
+        spec: The spec that was (attempted to be) simulated; failed specs
+            can be resubmitted directly from their record.
+        point: The measurement, or ``None`` on failure.
+        error: Failure description (exception traceback, timeout, worker
+            crash), or ``None`` on success.
+        wall_time: Worker-side wall-clock seconds for successful points.
+    """
+
+    spec: ExperimentSpec
+    point: Optional[SweepPoint]
+    error: Optional[str] = None
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether this spec produced a measurement."""
+        return self.error is None and self.point is not None
+
+
+class ParallelRunner:
+    """Runs spec lists serially or across a process pool.
+
+    Args:
+        max_workers: Worker processes for the ``process`` backend
+            (defaults to ``os.cpu_count()``).
+        backend: ``"process"`` fans specs across a
+            :class:`~concurrent.futures.ProcessPoolExecutor`;
+            ``"serial"`` runs them in-process (same collection semantics,
+            no pool — useful for debugging and as the ``--jobs 1`` path).
+        timeout: Optional per-point timeout in seconds (process backend).
+            An expired point becomes a failed record; note that an already
+            *running* worker cannot be interrupted and is waited for at
+            pool shutdown.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 backend: str = "process",
+                 timeout: Optional[float] = None) -> None:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}", known=list(BACKENDS))
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1",
+                                     max_workers=max_workers)
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError("timeout must be positive",
+                                     timeout=timeout)
+        self.max_workers = max_workers
+        self.backend = backend
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Whole-list execution
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[SpecResult]:
+        """Execute every spec; one ordered :class:`SpecResult` each.
+
+        Failures (worker exception, crash, timeout) are captured per spec;
+        after a pool-breaking crash the remaining specs are recorded as
+        failed (with their specs intact for resubmission) rather than
+        silently dropped.
+        """
+        specs = list(specs)
+        if self._serial():
+            return [self._run_in_process(spec) for spec in specs]
+        results: List[Optional[SpecResult]] = [None] * len(specs)
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+            broken: Optional[str] = None
+            for index, future in enumerate(futures):
+                if broken is not None:
+                    future.cancel()
+                    results[index] = SpecResult(
+                        specs[index], None,
+                        error=f"not run: {broken}")
+                    continue
+                result = self._collect(specs[index], future)
+                results[index] = result
+                if result.error and result.error.startswith("worker crashed"):
+                    broken = "worker pool broke earlier in this batch"
+        return list(results)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Latency-curve execution with saturation early-stop
+    # ------------------------------------------------------------------
+    def run_curve(self, specs: Sequence[ExperimentSpec],
+                  latency_cap: float = 4.0,
+                  points_past_saturation: int = 0) -> List[SweepPoint]:
+        """Run one ascending-rate curve; stop (and cancel) at saturation.
+
+        Collection happens in rate order through the same
+        :class:`SaturationCursor` a serial :class:`InjectionSweep` uses,
+        so the returned points are exactly the serial prefix; in-flight
+        higher rates are cancelled once the cut is known.  A failed point
+        raises :class:`~repro.errors.SimulationError` carrying the spec
+        and the worker's error text.
+        """
+        specs = list(specs)
+        cursor = SaturationCursor(latency_cap, points_past_saturation)
+        points: List[SweepPoint] = []
+        if self._serial():
+            for spec in specs:
+                result = self._run_in_process(spec)
+                points.append(self._require(result))
+                if cursor.push(points[-1]):
+                    break
+            return points
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+            try:
+                for index, future in enumerate(futures):
+                    result = self._collect(specs[index], future)
+                    points.append(self._require(result))
+                    if cursor.push(points[-1]):
+                        break
+            finally:
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(cancel_futures=True)
+        return points
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _serial(self) -> bool:
+        return self.backend == "serial" or self.max_workers == 1
+
+    @staticmethod
+    def _run_in_process(spec: ExperimentSpec) -> SpecResult:
+        """Serial execution with the same failure capture as a worker."""
+        started = time.perf_counter()
+        try:
+            point, wall = _execute_spec(spec)
+        except Exception:
+            return SpecResult(spec, None, error=traceback.format_exc(),
+                              wall_time=time.perf_counter() - started)
+        return SpecResult(spec, point, wall_time=wall)
+
+    def _collect(self, spec: ExperimentSpec, future) -> SpecResult:
+        """Turn one future into a result, capturing every failure mode."""
+        try:
+            point, wall = future.result(timeout=self.timeout)
+        except FuturesTimeoutError:
+            future.cancel()
+            return SpecResult(
+                spec, None,
+                error=f"timeout: point exceeded {self.timeout}s")
+        except BrokenProcessPool as exc:
+            return SpecResult(spec, None,
+                              error=f"worker crashed: {exc!r}")
+        except Exception as exc:
+            detail = getattr(exc, "__traceback_str__", None) or repr(exc)
+            return SpecResult(spec, None, error=f"worker raised: {detail}")
+        return SpecResult(spec, point, wall_time=wall)
+
+    @staticmethod
+    def _require(result: SpecResult) -> SweepPoint:
+        """Unwrap a curve point; a failure aborts the curve loudly."""
+        if not result.ok:
+            raise SimulationError(
+                "sweep point failed",
+                design=result.spec.design,
+                pattern=result.spec.pattern,
+                rate=result.spec.injection_rate,
+                error=result.error)
+        return result.point

@@ -1,45 +1,228 @@
-"""High-level experiment runners.
+"""High-level experiment drivers: the declarative :class:`ExperimentSpec`.
 
-Thin wrappers that turn a design name + traffic pattern + load into a
-simulated :class:`~repro.stats.sweep.SweepPoint`, shared by the examples and
-the benchmark harness.
+An :class:`ExperimentSpec` is the canonical description of *one* simulated
+point: a Table III design (by registry name), a traffic pattern, an offered
+load, the simulation windows, and the seeds — all plain data.  Unlike the
+closure-based factories it replaces, a spec is **picklable**, so the same
+object that drives a serial run can cross a process boundary unchanged
+(``repro.harness.parallel``) and serialize into results files
+(``repro.stats.results``).
+
+``spec.build()`` produces the ``(network, traffic, injector)`` trio that
+:func:`repro.stats.sweep.simulate_point` consumes; ``spec.run()`` does both
+steps.  The legacy :func:`run_design` / :func:`latency_curve` wrappers now
+construct specs internally, so every driver — CLI, benchmarks, examples,
+parallel sweeps — measures through the identical code path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import SimulationConfig
-from repro.faults import FaultInjector, parse_fault_spec
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, canonical_fault_spec, parse_fault_spec
 from repro.harness.configs import (
     DRAGONFLY_SMALL,
     MESH_SIDE,
     build_network,
     get_design,
+    resolve_design_name,
 )
-from repro.stats.sweep import InjectionSweep, SweepPoint, run_point
+from repro.sim.rng import DeterministicRng
+from repro.stats.sweep import (
+    SaturationCursor,
+    SweepPoint,
+    curve_saturation_rate,
+    simulate_point,
+)
 from repro.traffic.generator import PacketMix, SyntheticTraffic
 from repro.traffic.patterns import make_pattern
 
 
-def _pattern_cols(design, mesh_side: int) -> Optional[int]:
-    return mesh_side if design.topology == "mesh" else None
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A picklable, declarative description of one simulation point.
 
+    Attributes:
+        design: Table III registry name (aliases accepted; stored
+            canonically, so serialized specs never depend on alias tables).
+        pattern: Traffic pattern name (``repro.traffic.patterns``).
+        injection_rate: Offered load in flits/node/cycle.
+        seed: Seed shared by the network, routing and traffic RNGs.
+        mesh_side: Mesh dimension (used when the design is a mesh).
+        dragonfly: ``(p, a, h)`` (used when the design is a dragonfly).
+        tdd: Optional detection-threshold override.
+        mix: Optional packet-length mix (defaults to the paper's 50/50
+            1-flit + 5-flit mix inside :class:`SyntheticTraffic`).
+        faults: Optional fault-injection spec *string* (docs/FAULTS.md),
+            validated and canonicalized at construction; carrying the
+            string (not the parsed schedule) keeps the spec picklable.
+        fault_seed: Seed for the probabilistic fault realization.
+        sim: Simulation windows for this point.
 
-def _fault_factory(faults: Optional[str], fault_seed: int):
-    """Build a ``() -> FaultInjector`` factory from a fault spec string.
-
-    Returns None for an absent/empty spec so fault-free runs pay zero
-    overhead (no injector component is registered at all).
+    Construction validates everything that can be validated without
+    building a network, so a bad spec fails in the parent process before
+    any worker is spawned.
     """
-    if not faults:
-        return None
-    schedule = parse_fault_spec(faults)  # validate before any simulation
 
-    def factory():
-        return FaultInjector(schedule, seed=fault_seed)
+    design: str
+    pattern: str = "uniform"
+    injection_rate: float = 0.1
+    seed: int = 1
+    mesh_side: int = MESH_SIDE
+    dragonfly: Tuple[int, int, int] = DRAGONFLY_SMALL
+    tdd: Optional[int] = None
+    mix: Optional[PacketMix] = None
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
 
-    return factory
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "design", resolve_design_name(self.design))
+        object.__setattr__(self, "dragonfly", tuple(self.dragonfly))
+        object.__setattr__(self, "faults",
+                           canonical_fault_spec(self.faults))
+        if self.injection_rate < 0:
+            raise ConfigurationError("injection_rate must be >= 0",
+                                     rate=self.injection_rate)
+        if self.seed < 0 or self.fault_seed < 0:
+            raise ConfigurationError("seeds must be >= 0", seed=self.seed,
+                                     fault_seed=self.fault_seed)
+        if self.mesh_side < 2:
+            raise ConfigurationError("mesh_side must be >= 2",
+                                     mesh_side=self.mesh_side)
+        if len(self.dragonfly) != 3 or min(self.dragonfly) < 1:
+            raise ConfigurationError(
+                "dragonfly must be three integers (p, a, h), all >= 1",
+                dragonfly=self.dragonfly)
+        if self.tdd is not None and self.tdd < 1:
+            raise ConfigurationError("tdd must be >= 1", tdd=self.tdd)
+
+    # ------------------------------------------------------------------
+    # Building and running
+    # ------------------------------------------------------------------
+    def build(self):
+        """Instantiate the ``(network, traffic, injector)`` trio.
+
+        ``injector`` is ``None`` for fault-free specs (no component is
+        registered, so clean runs pay zero overhead).  The trio is exactly
+        what :func:`repro.stats.sweep.simulate_point` consumes.
+        """
+        design = get_design(self.design)
+        network = build_network(design, seed=self.seed,
+                                mesh_side=self.mesh_side,
+                                dragonfly=self.dragonfly, tdd=self.tdd)
+        cols = self.mesh_side if design.topology == "mesh" else None
+        pattern = make_pattern(self.pattern, network.topology.num_nodes,
+                               cols)
+        stop_at = self.sim.warmup_cycles + self.sim.measure_cycles
+        traffic = SyntheticTraffic(network, pattern, self.injection_rate,
+                                   mix=self.mix, seed=self.seed,
+                                   stop_at=stop_at)
+        injector = None
+        if self.faults:
+            injector = FaultInjector(parse_fault_spec(self.faults),
+                                     seed=self.fault_seed)
+        return network, traffic, injector
+
+    def run(self, raise_on_wedge: bool = False):
+        """Simulate this point; returns ``(network, SweepPoint)``."""
+        network, traffic, injector = self.build()
+        point = simulate_point(network, traffic, self.sim,
+                               injection_rate=self.injection_rate,
+                               injector=injector,
+                               raise_on_wedge=raise_on_wedge)
+        return network, point
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_rate(self, rate: float) -> "ExperimentSpec":
+        """The same experiment at a different offered load."""
+        return replace(self, injection_rate=rate)
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        """The same experiment under a different seed."""
+        return replace(self, seed=seed)
+
+    def forked(self, label: str) -> "ExperimentSpec":
+        """A replicate with an independent seed derived from ``label``.
+
+        Uses the same stable digest as :meth:`DeterministicRng.fork`, so
+        the derived seed depends only on ``(seed, label)`` — reproducible
+        across processes and runs, never on enumeration order.
+        """
+        child = DeterministicRng(self.seed).fork(str(label)).seed
+        return replace(self, seed=child)
+
+    def curve(self, rates: List[float]) -> List["ExperimentSpec"]:
+        """This experiment swept over ascending offered loads."""
+        return [self.with_rate(rate) for rate in rates]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict; exact inverse of :meth:`from_dict`."""
+        return {
+            "design": self.design,
+            "pattern": self.pattern,
+            "injection_rate": self.injection_rate,
+            "seed": self.seed,
+            "mesh_side": self.mesh_side,
+            "dragonfly": list(self.dragonfly),
+            "tdd": self.tdd,
+            "mix": (None if self.mix is None else
+                    {"lengths": list(self.mix.lengths),
+                     "weights": list(self.mix.weights)}),
+            "faults": self.faults,
+            "fault_seed": self.fault_seed,
+            "sim": self.sim.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (revalidates)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ExperimentSpec field(s) {sorted(unknown)}",
+                known=sorted(known))
+        kwargs = dict(data)
+        if kwargs.get("mix") is not None:
+            mix = kwargs["mix"]
+            kwargs["mix"] = PacketMix(lengths=tuple(mix["lengths"]),
+                                      weights=tuple(mix["weights"]))
+        if "sim" in kwargs:
+            kwargs["sim"] = SimulationConfig.from_dict(kwargs["sim"])
+        if "dragonfly" in kwargs:
+            kwargs["dragonfly"] = tuple(kwargs["dragonfly"])
+        return cls(**kwargs)
+
+
+def spec_grid(designs: List[str], patterns: List[str], rates: List[float],
+              seeds: Tuple[int, ...] = (1,),
+              **common) -> List[ExperimentSpec]:
+    """Expand an evaluation grid into specs, in deterministic order.
+
+    The iteration order is ``designs x patterns x seeds x rates`` — rates
+    innermost and ascending, so each contiguous run of specs is one
+    latency curve (the unit the parallel runner applies saturation
+    early-stop to).  Extra keyword arguments are passed through to every
+    :class:`ExperimentSpec`.
+    """
+    specs: List[ExperimentSpec] = []
+    for design in designs:
+        for pattern in patterns:
+            for seed in seeds:
+                base = ExperimentSpec(design=design, pattern=pattern,
+                                      injection_rate=rates[0], seed=seed,
+                                      **common)
+                specs.extend(base.curve(rates))
+    return specs
 
 
 def run_design(design_name: str, pattern_name: str, injection_rate: float,
@@ -52,28 +235,22 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
                fault_seed: int = 0):
     """Run one design at one load; returns (network, SweepPoint).
 
+    Thin wrapper over :class:`ExperimentSpec` kept for convenience and
+    backward compatibility.
+
     Args:
         faults: Optional fault-injection spec string (docs/FAULTS.md), e.g.
             ``"link_down@1000:r3-r4,sm_drop:p=0.01"``.
         fault_seed: Seed for the probabilistic fault realization; the same
             (faults, fault_seed) pair reproduces the same fault history.
     """
-    design = get_design(design_name)
-    sim_config = sim_config or SimulationConfig()
-    cols = _pattern_cols(design, mesh_side)
-
-    def network_factory():
-        return build_network(design, seed=seed, mesh_side=mesh_side,
-                             dragonfly=dragonfly, tdd=tdd)
-
-    def traffic_factory(network, stop_at):
-        pattern = make_pattern(pattern_name, network.topology.num_nodes, cols)
-        return SyntheticTraffic(network, pattern, injection_rate, mix=mix,
-                                seed=seed, stop_at=stop_at)
-
-    return run_point(network_factory, traffic_factory, sim_config,
-                     injection_rate=injection_rate,
-                     fault_factory=_fault_factory(faults, fault_seed))
+    spec = ExperimentSpec(
+        design=design_name, pattern=pattern_name,
+        injection_rate=injection_rate,
+        sim=sim_config or SimulationConfig(), seed=seed,
+        mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
+        faults=faults, fault_seed=fault_seed)
+    return spec.run()
 
 
 def latency_curve(design_name: str, pattern_name: str, rates: List[float],
@@ -84,27 +261,37 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
                   tdd: Optional[int] = None,
                   latency_cap: float = 4.0,
                   faults: Optional[str] = None,
-                  fault_seed: int = 0) -> Tuple[List[SweepPoint], float]:
+                  fault_seed: int = 0,
+                  jobs: int = 1) -> Tuple[List[SweepPoint], float]:
     """Latency-vs-injection curve for one design and pattern.
 
+    Args:
+        jobs: Worker processes.  ``1`` runs serially in-process; ``> 1``
+            fans the rates across a process pool
+            (:class:`repro.harness.parallel.ParallelRunner`) with the
+            identical saturation early-stop, so the returned points are
+            exactly those a serial run produces.
+
     Returns:
-        (points, saturation throughput in flits/node/cycle).
+        (points, saturation rate in flits/node/cycle).
     """
-    design = get_design(design_name)
-    sim_config = sim_config or SimulationConfig()
-    cols = _pattern_cols(design, mesh_side)
+    spec = ExperimentSpec(
+        design=design_name, pattern=pattern_name, injection_rate=rates[0],
+        sim=sim_config or SimulationConfig(), seed=seed,
+        mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
+        faults=faults, fault_seed=fault_seed)
+    curve = spec.curve(rates)
+    if jobs > 1:
+        from repro.harness.parallel import ParallelRunner
 
-    def network_factory():
-        return build_network(design, seed=seed, mesh_side=mesh_side,
-                             dragonfly=dragonfly, tdd=tdd)
-
-    def traffic_factory(network, rate, stop_at):
-        pattern = make_pattern(pattern_name, network.topology.num_nodes, cols)
-        return SyntheticTraffic(network, pattern, rate, mix=mix, seed=seed,
-                                stop_at=stop_at)
-
-    sweep = InjectionSweep(network_factory, traffic_factory, sim_config,
-                           rates, latency_cap=latency_cap,
-                           fault_factory=_fault_factory(faults, fault_seed))
-    points = sweep.run()
-    return points, sweep.saturation_rate(points)
+        runner = ParallelRunner(max_workers=jobs, backend="process")
+        points = runner.run_curve(curve, latency_cap=latency_cap)
+    else:
+        points = []
+        cursor = SaturationCursor(latency_cap)
+        for point_spec in curve:
+            _, point = point_spec.run()
+            points.append(point)
+            if cursor.push(point):
+                break
+    return points, curve_saturation_rate(points, latency_cap)

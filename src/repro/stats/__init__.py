@@ -1,12 +1,34 @@
-"""Statistics collection and experiment sweeps."""
+"""Statistics collection, experiment sweeps, and persisted results."""
 
 from repro.stats.collectors import NetworkStats, LatencySummary
-from repro.stats.sweep import InjectionSweep, SweepPoint, run_point
+from repro.stats.results import (
+    RESULTS_SCHEMA,
+    load_results,
+    results_from_json,
+    results_to_json,
+    save_results,
+)
+from repro.stats.sweep import (
+    InjectionSweep,
+    SaturationCursor,
+    SweepPoint,
+    run_point,
+    simulate_point,
+    truncate_at_saturation,
+)
 
 __all__ = [
     "NetworkStats",
     "LatencySummary",
     "InjectionSweep",
+    "SaturationCursor",
     "SweepPoint",
     "run_point",
+    "simulate_point",
+    "truncate_at_saturation",
+    "RESULTS_SCHEMA",
+    "save_results",
+    "load_results",
+    "results_to_json",
+    "results_from_json",
 ]

@@ -144,6 +144,24 @@ class NetworkStats:
             return 1.0
         return self.measured_delivered / self.measured_created
 
+    def point_kwargs(self, measure_cycles: int, num_nodes: int) -> dict:
+        """Measurement fields of a :class:`~repro.stats.sweep.SweepPoint`.
+
+        One place computes the stats-derived half of a point (latency,
+        throughput, delivery, event counters) so every driver — serial,
+        parallel, spec-based — materializes measurements identically.
+        """
+        latency = self.latency()
+        return {
+            "mean_latency": latency.mean,
+            "p99_latency": latency.p99,
+            "throughput": self.throughput(measure_cycles, num_nodes),
+            "delivery_ratio": self.delivery_ratio(),
+            "delivered": self.measured_delivered,
+            "events": dict(self.events),
+            "packets_lost": self.packets_lost,
+        }
+
     def mean_hops(self) -> float:
         """Average hop count of measured, delivered packets."""
         if not self.hop_counts:

@@ -1,0 +1,84 @@
+"""Persisted sweep results: a small, versioned JSON schema.
+
+Every sweep — serial or parallel — can be saved to disk and reloaded
+without loss, so the benchmark trajectory (EXPERIMENTS.md) is built from
+files rather than console scrollback.  The schema is deliberately
+deterministic: keys are sorted and no timestamps are embedded, so two runs
+of the same experiment produce *byte-identical* files regardless of worker
+count (the acceptance check behind ``--jobs``).
+
+Schema (``repro.sweep-results/v1``)::
+
+    {
+      "schema": "repro.sweep-results/v1",
+      "meta": { ... caller-provided, JSON-safe, deterministic ... },
+      "points": [ SweepPoint.to_dict(), ... ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.stats.sweep import SweepPoint
+
+#: Version tag written into (and demanded from) every results file.
+RESULTS_SCHEMA = "repro.sweep-results/v1"
+
+
+def results_to_json(points: List[SweepPoint],
+                    meta: Optional[Dict[str, object]] = None) -> str:
+    """Serialize points (plus optional metadata) to the canonical JSON text.
+
+    The text is fully deterministic for identical inputs: sorted keys,
+    fixed two-space indentation, trailing newline.
+    """
+    document = {
+        "schema": RESULTS_SCHEMA,
+        "meta": meta or {},
+        "points": [point.to_dict() for point in points],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def save_results(path: Union[str, Path], points: List[SweepPoint],
+                 meta: Optional[Dict[str, object]] = None) -> Path:
+    """Write a results file; returns the resolved path."""
+    path = Path(path)
+    path.write_text(results_to_json(points, meta))
+    return path
+
+
+def results_from_json(text: str) -> Tuple[List[SweepPoint], Dict[str, object]]:
+    """Parse canonical JSON text back into ``(points, meta)``."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"results file is not valid JSON ({exc})") from None
+    if not isinstance(document, dict):
+        raise ConfigurationError("results file must hold a JSON object",
+                                 got=type(document).__name__)
+    schema = document.get("schema")
+    if schema != RESULTS_SCHEMA:
+        raise ConfigurationError(
+            "unsupported results schema", got=schema,
+            expected=RESULTS_SCHEMA)
+    raw_points = document.get("points")
+    if not isinstance(raw_points, list):
+        raise ConfigurationError("results file carries no points list")
+    points = [SweepPoint.from_dict(raw) for raw in raw_points]
+    meta = document.get("meta") or {}
+    if not isinstance(meta, dict):
+        raise ConfigurationError("results meta must be an object",
+                                 got=type(meta).__name__)
+    return points, meta
+
+
+def load_results(path: Union[str, Path]
+                 ) -> Tuple[List[SweepPoint], Dict[str, object]]:
+    """Read a results file back into ``(points, meta)``."""
+    return results_from_json(Path(path).read_text())

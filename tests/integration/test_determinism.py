@@ -36,8 +36,8 @@ def run_spin_mesh(seed):
         return make_mesh_network(side=4, vcs=1, spin=SpinParams(tdd=24),
                                  seed=seed)
 
-    def traffic_factory(network, stop_at):
-        return SyntheticTraffic(network, make_pattern("uniform", 16), 0.25,
+    def traffic_factory(network, rate, stop_at):
+        return SyntheticTraffic(network, make_pattern("uniform", 16), rate,
                                 seed=seed, stop_at=stop_at)
 
     return run_point(network_factory, traffic_factory, SIM,

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.errors import ConfigurationError, FaultInjectionError
+from repro.stats.results import load_results
 
 
 class TestParser:
@@ -109,6 +110,10 @@ class TestRunValidation:
 
 
 class TestSweepCommand:
+    SMALL = ["sweep", "--design", "spin_mesh", "--pattern", "uniform",
+             "--mesh-side", "4", "--warmup", "100", "--measure", "400",
+             "--drain", "300", "--abort-cycles", "500"]
+
     def test_small_sweep(self, capsys):
         code = main([
             "sweep", "--design", "mesh:westfirst-3vc",
@@ -119,3 +124,29 @@ class TestSweepCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "saturation rate" in out
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            main(self.SMALL + ["--rates", "0.05", "--jobs", "0"])
+
+    def test_output_writes_loadable_results(self, capsys, tmp_path):
+        out_file = tmp_path / "sweep.json"
+        code = main(self.SMALL + ["--rates", "0.02,0.05",
+                                  "--output", str(out_file)])
+        assert code == 0
+        assert "wrote 2 points" in capsys.readouterr().out
+        points, meta = load_results(out_file)
+        assert [p.injection_rate for p in points] == [0.02, 0.05]
+        assert meta["design"] == "mesh:minadaptive-spin-1vc"  # canonical
+        assert meta["pattern"] == "uniform"
+        assert "jobs" not in meta  # files are --jobs independent
+
+    def test_parallel_sweep_output_matches_serial_byte_for_byte(
+            self, capsys, tmp_path):
+        serial, parallel = tmp_path / "jobs1.json", tmp_path / "jobs2.json"
+        assert main(self.SMALL + ["--rates", "0.02,0.05",
+                                  "--output", str(serial)]) == 0
+        assert main(self.SMALL + ["--rates", "0.02,0.05", "--jobs", "2",
+                                  "--output", str(parallel)]) == 0
+        capsys.readouterr()  # drain the tables
+        assert serial.read_bytes() == parallel.read_bytes()

@@ -1,0 +1,153 @@
+"""Unit tests for the ParallelRunner fan-out engine.
+
+The process backend uses real worker processes, so the suite keeps the
+simulation windows tiny.  Worker-crash surfacing relies on the Linux
+``fork`` start method (module-level classes are picklable either way).
+"""
+
+import os
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.harness.parallel import ParallelRunner, SpecResult, _execute_spec
+from repro.harness.runner import ExperimentSpec
+
+TINY = SimulationConfig(warmup_cycles=50, measure_cycles=200,
+                        drain_cycles=150, deadlock_abort_cycles=300)
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(design="spin_mesh", pattern="uniform", injection_rate=0.05,
+                  mesh_side=4, tdd=32, sim=TINY)
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class CrashingSpec(ExperimentSpec):
+    """A spec whose run() kills the worker process outright.
+
+    Module level so the process backend can pickle it.  ``os._exit``
+    bypasses all exception handling in the child, which is exactly the
+    failure mode (OOM-kill, segfault) BrokenProcessPool models.
+    """
+
+    def run(self, raise_on_wedge=False):  # pragma: no cover - child only
+        os._exit(3)
+
+
+class RaisingSpec(ExperimentSpec):
+    """A spec whose run() raises a normal Python exception."""
+
+    def run(self, raise_on_wedge=False):
+        raise RuntimeError("synthetic point failure")
+
+
+class TestConstruction:
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            ParallelRunner(backend="threads")
+
+    def test_bad_max_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            ParallelRunner(max_workers=0)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            ParallelRunner(timeout=0)
+
+    def test_default_workers_from_cpu_count(self):
+        assert ParallelRunner().max_workers == (os.cpu_count() or 1)
+
+
+class TestSerialBackend:
+    def test_results_ordered_and_ok(self):
+        specs = tiny_spec().curve([0.02, 0.05, 0.08])
+        results = ParallelRunner(backend="serial").run(specs)
+        assert [r.spec.injection_rate for r in results] == [0.02, 0.05, 0.08]
+        assert all(isinstance(r, SpecResult) and r.ok for r in results)
+        assert all(r.point.cycles == TINY.total_cycles for r in results)
+        assert all(r.wall_time >= 0.0 for r in results)
+
+    def test_failure_captured_not_raised(self):
+        # "nonexistent" passes ExperimentSpec validation (patterns are
+        # resolved at build time), then make_pattern raises in the worker.
+        specs = [tiny_spec(), tiny_spec(pattern="nonexistent")]
+        results = ParallelRunner(backend="serial").run(specs)
+        assert results[0].ok
+        assert not results[1].ok
+        assert results[1].point is None
+        assert "nonexistent" in results[1].error
+
+    def test_max_workers_one_means_serial(self):
+        runner = ParallelRunner(max_workers=1, backend="process")
+        results = runner.run([tiny_spec()])
+        assert results[0].ok
+
+
+class TestProcessBackend:
+    def test_matches_serial_exactly(self):
+        specs = tiny_spec().curve([0.02, 0.06])
+        serial = ParallelRunner(backend="serial").run(specs)
+        process = ParallelRunner(max_workers=2, backend="process").run(specs)
+        assert [r.point for r in serial] == [r.point for r in process]
+
+    def test_failure_captured_alongside_successes(self):
+        specs = [tiny_spec(), tiny_spec(pattern="nonexistent"), tiny_spec()]
+        results = ParallelRunner(max_workers=2, backend="process").run(specs)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert "nonexistent" in results[1].error
+
+    def test_worker_crash_surfaced_as_failed_record(self):
+        specs = [CrashingSpec(design="spin_mesh", injection_rate=0.05,
+                              mesh_side=4, sim=TINY)]
+        results = ParallelRunner(max_workers=2, backend="process").run(specs)
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "worker crashed" in results[0].error
+
+    def test_crash_marks_remaining_not_run(self):
+        crash = CrashingSpec(design="spin_mesh", injection_rate=0.05,
+                             mesh_side=4, sim=TINY)
+        specs = [crash] + tiny_spec().curve([0.02, 0.05, 0.08])
+        results = ParallelRunner(max_workers=2, backend="process").run(specs)
+        assert not results[0].ok
+        assert "worker crashed" in results[0].error
+        # Once the pool is broken, later specs must be reported as not
+        # run — never silently dropped or re-executed in the parent.
+        assert len(results) == len(specs)
+        not_run = [r for r in results[1:] if r.error and "not run" in r.error]
+        assert not_run, "later specs should carry a 'not run' record"
+
+
+class TestRunCurve:
+    def test_stops_curve_at_saturation(self):
+        # Absurd rates wedge/saturate early; the curve must be truncated
+        # identically to the serial sweep.
+        rates = [0.02, 0.9, 0.95, 0.99]
+        specs = tiny_spec().curve(rates)
+        runner = ParallelRunner(max_workers=2, backend="process")
+        points = runner.run_curve(specs, latency_cap=4.0)
+        serial = ParallelRunner(backend="serial")
+        assert points == serial.run_curve(specs, latency_cap=4.0)
+        assert len(points) < len(rates)
+
+    def test_failed_point_raises_simulation_error(self):
+        specs = [tiny_spec(pattern="nonexistent")]
+        with pytest.raises(SimulationError, match="sweep point failed"):
+            ParallelRunner(backend="serial").run_curve(specs)
+
+
+class TestExecuteSpec:
+    def test_worker_function_returns_point_and_wall(self):
+        point, wall = _execute_spec(tiny_spec())
+        assert point.injection_rate == 0.05
+        assert wall >= 0.0
+
+    def test_raising_spec_propagates_in_worker_fn(self):
+        spec = RaisingSpec(design="spin_mesh", injection_rate=0.05,
+                           mesh_side=4, sim=TINY)
+        with pytest.raises(RuntimeError, match="synthetic point failure"):
+            _execute_spec(spec)

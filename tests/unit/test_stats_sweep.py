@@ -3,9 +3,19 @@
 import pytest
 
 from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
 from repro.network.packet import Packet
 from repro.stats.collectors import LatencySummary, NetworkStats
-from repro.stats.sweep import InjectionSweep, SweepPoint, run_point
+from repro.stats.sweep import (
+    InjectionSweep,
+    SaturationCursor,
+    SweepPoint,
+    curve_saturation_rate,
+    curve_saturation_throughput,
+    run_point,
+    simulate_point,
+    truncate_at_saturation,
+)
 from repro.traffic.generator import PacketMix, SyntheticTraffic
 from repro.traffic.patterns import make_pattern
 
@@ -72,6 +82,21 @@ class TestNetworkStats:
         stats.count("spins", 4)
         assert stats.events["spins"] == 5
 
+    def test_point_kwargs_match_point_fields(self):
+        stats = NetworkStats()
+        stats.open_window(0, 100)
+        packet = self._packet(length=5)
+        stats.record_creation(packet, 10)
+        packet.inject_cycle = 11
+        packet.eject_cycle = 30
+        stats.record_delivery(packet, 30)
+        stats.count("spins", 2)
+        kwargs = stats.point_kwargs(measure_cycles=100, num_nodes=4)
+        point = SweepPoint(injection_rate=0.1, wedged=False, **kwargs)
+        assert point.delivered == 1
+        assert point.events == {"spins": 2}
+        assert point.mean_latency == pytest.approx(20.0)
+
 
 def _traffic_factory(network, rate, stop_at):
     return SyntheticTraffic(network, make_pattern("uniform", 16), rate,
@@ -85,12 +110,13 @@ class TestRunPoint:
                                       drain_cycles=800)
         network, point = run_point(
             lambda: make_mesh_network(side=4, vcs=2),
-            lambda net, stop: _traffic_factory(net, 0.05, stop),
+            _traffic_factory,
             sim_config, injection_rate=0.05)
         assert point.delivery_ratio == 1.0
         assert not point.wedged
         assert 4 < point.mean_latency < 30
         assert point.throughput == pytest.approx(0.05, rel=0.25)
+        assert point.cycles == sim_config.total_cycles
 
     def test_wedge_detection(self):
         sim_config = SimulationConfig(warmup_cycles=100, measure_cycles=1500,
@@ -98,9 +124,87 @@ class TestRunPoint:
                                       deadlock_abort_cycles=600)
         network, point = run_point(
             lambda: make_mesh_network(side=4, vcs=1),  # no SPIN: deadlocks
-            lambda net, stop: _traffic_factory(net, 0.45, stop),
+            _traffic_factory,
             sim_config, injection_rate=0.45)
         assert point.wedged
+        assert point.cycles < sim_config.total_cycles  # aborted early
+
+    def test_rate_required_with_canonical_factory(self):
+        sim_config = SimulationConfig(warmup_cycles=50, measure_cycles=100,
+                                      drain_cycles=50)
+        with pytest.raises(ConfigurationError, match="injection_rate"):
+            run_point(lambda: make_mesh_network(side=4, vcs=2),
+                      _traffic_factory, sim_config)
+
+    def test_legacy_factory_shape_deprecated_but_working(self):
+        sim_config = SimulationConfig(warmup_cycles=100, measure_cycles=400,
+                                      drain_cycles=300)
+        with pytest.warns(DeprecationWarning, match="network, rate, stop_at"):
+            network, point = run_point(
+                lambda: make_mesh_network(side=4, vcs=2),
+                lambda net, stop: _traffic_factory(net, 0.05, stop),
+                sim_config, injection_rate=0.05)
+        assert point.injection_rate == 0.05
+        assert point.delivered > 0
+
+    def test_legacy_factory_infers_rate_from_traffic(self):
+        sim_config = SimulationConfig(warmup_cycles=100, measure_cycles=400,
+                                      drain_cycles=300)
+        with pytest.warns(DeprecationWarning):
+            _, point = run_point(
+                lambda: make_mesh_network(side=4, vcs=2),
+                lambda net, stop: _traffic_factory(net, 0.07, stop),
+                sim_config)  # no injection_rate declared
+        assert point.injection_rate == 0.07
+
+    def test_declared_rate_must_match_traffic(self):
+        sim_config = SimulationConfig(warmup_cycles=100, measure_cycles=400,
+                                      drain_cycles=300)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="disagrees"):
+                run_point(
+                    lambda: make_mesh_network(side=4, vcs=2),
+                    lambda net, stop: _traffic_factory(net, 0.20, stop),
+                    sim_config, injection_rate=0.05)
+
+
+class TestSimulatePoint:
+    def _components(self, rate=0.05, vcs=2):
+        network = make_mesh_network(side=4, vcs=vcs)
+        sim_config = SimulationConfig(warmup_cycles=100, measure_cycles=400,
+                                      drain_cycles=300)
+        stop_at = sim_config.warmup_cycles + sim_config.measure_cycles
+        traffic = _traffic_factory(network, rate, stop_at)
+        return network, traffic, sim_config
+
+    def test_rate_taken_from_traffic_when_unspecified(self):
+        network, traffic, sim_config = self._components(rate=0.06)
+        point = simulate_point(network, traffic, sim_config)
+        assert point.injection_rate == 0.06
+
+    def test_rate_mismatch_raises_before_simulation(self):
+        network, traffic, sim_config = self._components(rate=0.06)
+        with pytest.raises(ConfigurationError, match="disagrees"):
+            simulate_point(network, traffic, sim_config, injection_rate=0.3)
+
+    def test_wedge_poll_interval_is_configurable(self):
+        # A coarse poll interval still detects the wedge, just later; a
+        # fine interval detects it within one abort window of the stall.
+        for interval in (50, 700):
+            network = make_mesh_network(side=4, vcs=1)
+            sim_config = SimulationConfig(
+                warmup_cycles=100, measure_cycles=1500, drain_cycles=1500,
+                deadlock_abort_cycles=600, wedge_poll_interval=interval)
+            stop_at = sim_config.warmup_cycles + sim_config.measure_cycles
+            traffic = _traffic_factory(network, 0.45, stop_at)
+            point = simulate_point(network, traffic, sim_config)
+            assert point.wedged
+            # The run advances in poll-interval chunks past the warmup.
+            assert (point.cycles - sim_config.warmup_cycles) % interval == 0
+
+    def test_wedge_poll_interval_validated(self):
+        with pytest.raises(ConfigurationError, match="wedge_poll_interval"):
+            SimulationConfig(wedge_poll_interval=0)
 
 
 class TestInjectionSweep:
@@ -133,6 +237,46 @@ class TestInjectionSweep:
         # low-load points here stay below deadlock formation).
         assert saturation(3) >= saturation(1)
 
+    def test_class_methods_match_module_helpers(self):
+        points = [
+            SweepPoint(0.05, 10.0, 20.0, 0.05, 1.0, False, 100),
+            SweepPoint(0.10, 12.0, 25.0, 0.10, 1.0, False, 100),
+            SweepPoint(0.20, 90.0, 300.0, 0.11, 0.9, False, 100),
+        ]
+        sweep = InjectionSweep(None, None, None, rates=[], latency_cap=4.0)
+        assert sweep.saturation_rate(points) == \
+            curve_saturation_rate(points, 4.0) == 0.10
+        assert sweep.saturation_throughput(points) == \
+            curve_saturation_throughput(points, 4.0) == 0.10
+
+
+class TestSaturationHelpers:
+    def _curve(self):
+        return [
+            SweepPoint(0.05, 10.0, 20.0, 0.05, 1.0, False, 100),
+            SweepPoint(0.10, 12.0, 25.0, 0.10, 1.0, False, 100),
+            SweepPoint(0.20, 90.0, 300.0, 0.11, 0.9, False, 100),  # saturated
+            SweepPoint(0.30, 200.0, 500.0, 0.10, 0.5, False, 50),
+        ]
+
+    def test_truncate_matches_serial_stop(self):
+        kept = truncate_at_saturation(self._curve())
+        assert [p.injection_rate for p in kept] == [0.05, 0.10, 0.20]
+
+    def test_truncate_with_extra_points(self):
+        kept = truncate_at_saturation(self._curve(), points_past_saturation=1)
+        assert len(kept) == 4
+
+    def test_cursor_incremental_equals_truncate(self):
+        cursor = SaturationCursor()
+        stops = [cursor.push(p) for p in self._curve()[:3]]
+        assert stops == [False, False, True]
+
+    def test_empty_curve(self):
+        assert truncate_at_saturation([]) == []
+        assert curve_saturation_rate([]) == 0.0
+        assert curve_saturation_throughput([]) == 0.0
+
 
 class TestSweepPoint:
     def test_saturated_flags(self):
@@ -144,3 +288,17 @@ class TestSweepPoint:
         assert lossy.saturated(zero_load_latency=15.0)
         wedged = SweepPoint(0.5, 20.0, 40.0, 0.2, 1.0, True, 100)
         assert wedged.saturated(zero_load_latency=15.0)
+
+    def test_dict_round_trip(self):
+        point = SweepPoint(0.15, 23.5, 80.0, 0.14, 0.99, False, 421,
+                           events={"spins": 3, "probes_sent": 17},
+                           link_utilization=(0.2, 0.01, 0.79),
+                           packets_lost=2, cycles=4400)
+        assert SweepPoint.from_dict(point.to_dict()) == point
+
+    def test_from_dict_rejects_unknown_fields(self):
+        point = SweepPoint(0.1, 10.0, 20.0, 0.1, 1.0, False, 10)
+        data = point.to_dict()
+        data["latency_p75"] = 12.0
+        with pytest.raises(ConfigurationError, match="unknown SweepPoint"):
+            SweepPoint.from_dict(data)
