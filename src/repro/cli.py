@@ -24,6 +24,7 @@ from repro.faults import parse_fault_spec
 from repro.harness.configs import ALL_DESIGNS, get_design, resolve_design_name
 from repro.harness.runner import latency_curve, run_design
 from repro.harness.tables import format_table
+from repro.verify.differential import DEFAULT_TRIAD, run_conformance
 from repro.power.model import AreaModel, EnergyModel, RouterSpec
 from repro.stats.results import save_results
 
@@ -103,6 +104,10 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         "(see docs/FAULTS.md)")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed for probabilistic fault realization")
+    parser.add_argument("--verify", action="store_true",
+                        help="attach the runtime invariant oracle; the run "
+                        "fails on the first violated invariant "
+                        "(docs/VERIFY.md)")
 
 
 def cmd_designs(args) -> int:
@@ -123,7 +128,8 @@ def cmd_run(args) -> int:
     network, point = run_design(
         args.design, args.pattern, args.rate, _sim_config(args),
         seed=args.seed, mesh_side=args.mesh_side, dragonfly=dragonfly,
-        tdd=args.tdd, faults=args.faults, fault_seed=args.fault_seed)
+        tdd=args.tdd, faults=args.faults, fault_seed=args.fault_seed,
+        verify=args.verify)
     rows = [
         ["offered load (flits/node/cycle)", args.rate],
         ["mean latency (cycles)", round(point.mean_latency, 2)],
@@ -160,7 +166,8 @@ def cmd_sweep(args) -> int:
     points, saturation = latency_curve(
         args.design, args.pattern, rates, _sim_config(args), seed=args.seed,
         mesh_side=args.mesh_side, dragonfly=dragonfly, tdd=args.tdd,
-        faults=args.faults, fault_seed=args.fault_seed, jobs=args.jobs)
+        faults=args.faults, fault_seed=args.fault_seed, jobs=args.jobs,
+        verify=args.verify)
     rows = [
         [p.injection_rate, round(p.mean_latency, 1), round(p.throughput, 4),
          round(p.delivery_ratio, 3), p.wedged, p.events.get("spins", 0)]
@@ -187,6 +194,48 @@ def cmd_sweep(args) -> int:
         path = save_results(args.output, points, meta)
         print(f"wrote {len(points)} points to {path}")
     return 0
+
+
+def cmd_verify(args) -> int:
+    """Differential conformance: same seeded load, several theories."""
+    designs = ([resolve_design_name(name)
+                for name in args.designs.split(",")]
+               if args.designs else list(DEFAULT_TRIAD))
+    seeds = [int(part) for part in args.seeds.split(",")]
+    if len(designs) < 2:
+        raise ConfigurationError(
+            "--designs needs at least two comma-separated names",
+            designs=designs)
+    if not 0.0 < args.rate <= 1.0:
+        raise ConfigurationError(
+            "offered load must be in (0, 1] flits/node/cycle",
+            rate=args.rate)
+    if any(seed < 0 for seed in seeds):
+        raise ConfigurationError("--seeds must all be >= 0", seeds=seeds)
+    reports = []
+    for seed in seeds:
+        report = run_conformance(
+            pattern=args.pattern, injection_rate=args.rate, seed=seed,
+            designs=designs, mesh_side=args.mesh_side)
+        reports.append(report)
+        print(report.summary())
+        print()
+    agreed = all(report.agreed for report in reports)
+    print(f"verdict: {len(reports)} seed(s), "
+          + ("all agreed" if agreed else "DISAGREEMENT"))
+    if args.output:
+        import json
+
+        payload = {
+            "format": "repro.verify-conformance/v1",
+            "agreed": agreed,
+            "reports": [report.to_dict() for report in reports],
+        }
+        with open(args.output, "w", encoding="ascii") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if agreed else 1
 
 
 def cmd_area(args) -> int:
@@ -230,6 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the points as a "
                               "repro.sweep-results/v1 JSON file")
 
+    verify_parser = sub.add_parser(
+        "verify",
+        help="differential conformance: run the same seeded experiment "
+        "under several deadlock-freedom theories and assert agreement")
+    verify_parser.add_argument(
+        "--designs", default=None,
+        help="comma-separated design names sharing one topology/size "
+        f"(default: {','.join(DEFAULT_TRIAD)})")
+    verify_parser.add_argument("--pattern", default="uniform")
+    verify_parser.add_argument("--rate", type=float, default=0.12,
+                               help="offered load (keep below saturation "
+                               "of every design)")
+    verify_parser.add_argument("--seeds", default="1,2,3",
+                               help="comma-separated seeds, one "
+                               "conformance run each")
+    verify_parser.add_argument("--mesh-side", type=int, default=4)
+    verify_parser.add_argument("--output", default=None,
+                               metavar="FILE.json",
+                               help="write the full reports as JSON")
+
     area_parser = sub.add_parser("area", help="router cost model")
     area_parser.add_argument("--radix", type=int, default=5)
     area_parser.add_argument("--vcs", type=int, default=3)
@@ -245,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "designs": cmd_designs,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "verify": cmd_verify,
         "area": cmd_area,
     }
     return handlers[args.command](args)

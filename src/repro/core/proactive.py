@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantViolation
 
 
 class ProactiveSpinPlane:
@@ -115,7 +115,14 @@ class ProactiveSpinPlane:
             src, dst = edges[i]
             _, inport = port_between(src, dst)
             next_src, next_dst = edges[(i + 1) % count]
-            assert next_src == dst, "walk must be contiguous"
+            if next_src != dst:
+                # Survives ``python -O`` (a bare assert would not) and
+                # names the broken step; this is a builder bug, never a
+                # property of the simulated design.
+                raise InvariantViolation(
+                    "Euler walk is not contiguous",
+                    invariant="drain_chain", step=i, src=src, dst=dst,
+                    next_src=next_src, next_dst=next_dst)
             outport, _ = port_between(next_src, next_dst)
             steps.append((dst, inport, outport))
         return steps

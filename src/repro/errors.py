@@ -54,6 +54,29 @@ class ProtocolError(ReproError):
     """
 
 
+class InvariantViolation(ProtocolError):
+    """A runtime invariant checked by :mod:`repro.verify` (or an inline
+    self-check on a hot path) failed.
+
+    Unlike a bare ``assert``, an :class:`InvariantViolation` survives
+    ``python -O`` and always carries structured context — at minimum the
+    ``invariant`` name plus the router/cycle where the check tripped::
+
+        raise InvariantViolation("credit counter drifted",
+                                 invariant="credit_conservation",
+                                 router=3, cycle=1042)
+
+    The ``invariant`` key is machine-readable: the oracle's mutation-kill
+    property tests assert that a given corruption trips exactly the
+    intended invariant family (see docs/VERIFY.md for the catalog).
+    """
+
+    @property
+    def invariant(self) -> str:
+        """Name of the violated invariant family ("" if not attached)."""
+        return str(self.context.get("invariant", ""))
+
+
 class SimulationError(ReproError):
     """A simulation could not be completed (e.g. unresolved deadlock when the
     configuration promised deadlock freedom)."""

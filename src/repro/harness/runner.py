@@ -61,6 +61,10 @@ class ExperimentSpec:
             string (not the parsed schedule) keeps the spec picklable.
         fault_seed: Seed for the probabilistic fault realization.
         sim: Simulation windows for this point.
+        verify: Attach the runtime invariant oracle (:mod:`repro.verify`)
+            to the run, failing it on the first violated invariant.  The
+            ``REPRO_VERIFY`` environment variable enables the oracle for
+            every run regardless of this flag (docs/VERIFY.md).
 
     Construction validates everything that can be validated without
     building a network, so a bad spec fails in the parent process before
@@ -78,6 +82,7 @@ class ExperimentSpec:
     faults: Optional[str] = None
     fault_seed: int = 0
     sim: SimulationConfig = field(default_factory=SimulationConfig)
+    verify: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "design", resolve_design_name(self.design))
@@ -133,7 +138,8 @@ class ExperimentSpec:
         point = simulate_point(network, traffic, self.sim,
                                injection_rate=self.injection_rate,
                                injector=injector,
-                               raise_on_wedge=raise_on_wedge)
+                               raise_on_wedge=raise_on_wedge,
+                               verify=self.verify)
         return network, point
 
     # ------------------------------------------------------------------
@@ -180,6 +186,7 @@ class ExperimentSpec:
             "faults": self.faults,
             "fault_seed": self.fault_seed,
             "sim": self.sim.to_dict(),
+            "verify": self.verify,
         }
 
     @classmethod
@@ -232,7 +239,8 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
                mix: Optional[PacketMix] = None,
                tdd: Optional[int] = None,
                faults: Optional[str] = None,
-               fault_seed: int = 0):
+               fault_seed: int = 0,
+               verify: bool = False):
     """Run one design at one load; returns (network, SweepPoint).
 
     Thin wrapper over :class:`ExperimentSpec` kept for convenience and
@@ -249,7 +257,7 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
         injection_rate=injection_rate,
         sim=sim_config or SimulationConfig(), seed=seed,
         mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
-        faults=faults, fault_seed=fault_seed)
+        faults=faults, fault_seed=fault_seed, verify=verify)
     return spec.run()
 
 
@@ -262,7 +270,8 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
                   latency_cap: float = 4.0,
                   faults: Optional[str] = None,
                   fault_seed: int = 0,
-                  jobs: int = 1) -> Tuple[List[SweepPoint], float]:
+                  jobs: int = 1,
+                  verify: bool = False) -> Tuple[List[SweepPoint], float]:
     """Latency-vs-injection curve for one design and pattern.
 
     Args:
@@ -279,7 +288,7 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
         design=design_name, pattern=pattern_name, injection_rate=rates[0],
         sim=sim_config or SimulationConfig(), seed=seed,
         mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
-        faults=faults, fault_seed=fault_seed)
+        faults=faults, fault_seed=fault_seed, verify=verify)
     curve = spec.curve(rates)
     if jobs > 1:
         from repro.harness.parallel import ParallelRunner

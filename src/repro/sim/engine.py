@@ -55,6 +55,7 @@ class Simulator:
     def __init__(self) -> None:
         self.cycle = 0
         self._components: List[object] = []
+        self._observers: List[object] = []
         # Resolved (component, bound method) pairs per phase, built lazily so
         # the hot loop does not pay getattr costs every cycle.
         self._schedule = None
@@ -62,6 +63,19 @@ class Simulator:
     def register(self, component: object) -> None:
         """Add a component to the cycle loop (in registration order)."""
         self._components.append(component)
+        self._schedule = None
+
+    def register_observer(self, observer: object) -> None:
+        """Add a read-only observer that runs *after* every component.
+
+        Observers implement the same phase hooks as components but are
+        sequenced last within each phase regardless of registration order,
+        so per-cycle checkers (the :mod:`repro.verify` invariant oracle,
+        trace recorders) always see the settled state of the cycle.  When
+        no observer is registered the hot loop is byte-for-byte the
+        schedule it always was — observation is zero-cost when disabled.
+        """
+        self._observers.append(observer)
         self._schedule = None
 
     def _build_schedule(self):
@@ -72,6 +86,11 @@ class Simulator:
                 for component in self._components
                 if hasattr(component, phase)
             ]
+            bound.extend(
+                getattr(observer, phase)
+                for observer in self._observers
+                if hasattr(observer, phase)
+            )
             schedule.append(bound)
         return schedule
 

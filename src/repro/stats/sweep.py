@@ -55,6 +55,10 @@ class SweepPoint:
     #: Cycles actually simulated (warmup + measure + drain, less any early
     #: wedge abort).  Feeds the cycles/sec benchmark accounting.
     cycles: int = 0
+    #: Invariant-violation occurrences recorded by the runtime oracle
+    #: (:mod:`repro.verify`); 0 when the oracle was off or found nothing.
+    #: Per-family counts appear in :attr:`events` as ``violation_<name>``.
+    invariant_violations: int = 0
 
     def saturated(self, zero_load_latency: float,
                   latency_cap: float = 4.0,
@@ -85,6 +89,7 @@ class SweepPoint:
             "link_utilization": list(self.link_utilization),
             "packets_lost": self.packets_lost,
             "cycles": self.cycles,
+            "invariant_violations": self.invariant_violations,
         }
 
     @classmethod
@@ -111,7 +116,9 @@ class SweepPoint:
 def simulate_point(network, traffic, sim_config: SimulationConfig,
                    injection_rate: Optional[float] = None,
                    injector=None,
-                   raise_on_wedge: bool = False) -> SweepPoint:
+                   raise_on_wedge: bool = False,
+                   verify: bool = False,
+                   oracle=None) -> SweepPoint:
     """Simulate already-built components through one measurement run.
 
     This is the single engine behind :func:`run_point`,
@@ -136,9 +143,19 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
             react.
         raise_on_wedge: Raise :class:`~repro.errors.SimulationError` with a
             wedge snapshot instead of returning a ``wedged=True`` point.
+        verify: Attach the runtime invariant oracle (:mod:`repro.verify`)
+            in its default raise mode.  Independently of this flag, the
+            ``REPRO_VERIFY`` environment variable (``strict``/``record``)
+            attaches an oracle to *every* run without code changes.
+        oracle: A pre-configured
+            :class:`~repro.verify.oracle.InvariantOracle` to attach
+            (overrides ``verify`` and the environment gate).  Must be
+            constructed for this ``network``.
 
     Returns:
-        The measured :class:`SweepPoint`.
+        The measured :class:`SweepPoint`.  Oracle findings (if any) are in
+        :attr:`SweepPoint.invariant_violations` and the
+        ``violation_<name>`` event counters.
     """
     configured = getattr(traffic, "injection_rate", None)
     if injection_rate is None:
@@ -158,6 +175,20 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
         injector.bind(network)
         simulator.register(injector)
     simulator.register(network)
+    if oracle is None:
+        if verify:
+            from repro.verify.oracle import InvariantOracle
+
+            oracle = InvariantOracle(network)
+        else:
+            from repro.verify.oracle import oracle_from_env
+
+            oracle = oracle_from_env(network)
+    if oracle is not None:
+        if oracle.network is not network:
+            raise ConfigurationError(
+                "oracle was built for a different network")
+        oracle.attach(simulator)
     network.stats.open_window(sim_config.warmup_cycles, stop_at)
 
     simulator.run(sim_config.warmup_cycles)
@@ -188,6 +219,8 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
         wedged=wedged,
         link_utilization=network.mean_link_utilization(),
         cycles=simulator.cycle,
+        invariant_violations=network.stats.events.get(
+            "invariant_violations", 0),
         **network.stats.point_kwargs(sim_config.measure_cycles,
                                      network.topology.num_nodes),
     )

@@ -1,0 +1,196 @@
+"""Differential conformance across deadlock-freedom theories.
+
+SPIN's correctness claim is *behavioural*: a recovery theory may reorder
+traffic internally, but under identical seeded load every sound scheme must
+deliver exactly the same multiset of packets and reach the same
+deadlock verdict.  This module runs one seeded experiment under several
+Table III designs — by default SPIN vs. Static Bubble vs. escape-VC on the
+same mesh — with the invariant oracle journaling deliveries, and asserts:
+
+1. **zero invariant violations** in every run;
+2. **identical delivered-packet multisets** — packets identified by their
+   seed-determined signature ``(src, dst, length, vnet, create_cycle)``,
+   which is independent of scheme and run order (uids are not);
+3. **identical deadlock verdicts** (the wedge flag).
+
+Exposed on the CLI as ``repro-sim verify`` (see docs/VERIFY.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimulationConfig
+from repro.harness.runner import ExperimentSpec
+from repro.stats.sweep import SweepPoint, simulate_point
+from repro.verify.oracle import InvariantOracle, OracleConfig
+
+#: The default conformance triad: three deadlock-freedom theories
+#: (recovery-by-spin, recovery-by-bubble, avoidance-by-escape-VC) on the
+#: same mesh datapath with the same VC budget.
+DEFAULT_TRIAD: Tuple[str, ...] = (
+    "mesh:minadaptive-spin-2vc",
+    "mesh:staticbubble-2vc",
+    "mesh:escapevc-2vc",
+)
+
+#: Signature of one delivered packet, independent of scheme and run order.
+Signature = Tuple[int, int, int, int, int]
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of one design's run within a conformance comparison."""
+
+    design: str
+    point: SweepPoint
+    delivered: Counter
+    violations: int
+    violation_families: Dict[str, int]
+
+    @property
+    def wedged(self) -> bool:
+        return self.point.wedged
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "design": self.design,
+            "delivered": sum(self.delivered.values()),
+            "wedged": self.wedged,
+            "violations": self.violations,
+            "violation_families": dict(self.violation_families),
+            "point": self.point.to_dict(),
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """Agreement verdict across all schemes of one conformance run."""
+
+    spec: Dict[str, object]
+    results: List[SchemeResult]
+    disagreements: List[str] = field(default_factory=list)
+
+    @property
+    def agreed(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        lines = [
+            "differential conformance: "
+            + ("AGREED" if self.agreed else "DISAGREED"),
+            f"  spec: {self.spec}",
+        ]
+        for result in self.results:
+            lines.append(
+                f"  {result.design}: delivered="
+                f"{sum(result.delivered.values())} "
+                f"wedged={result.wedged} violations={result.violations}")
+        for issue in self.disagreements:
+            lines.append(f"  !! {issue}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec,
+            "agreed": self.agreed,
+            "disagreements": list(self.disagreements),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+def _multiset_diff(reference: Counter, other: Counter,
+                   limit: int = 3) -> str:
+    missing = reference - other
+    extra = other - reference
+    parts = []
+    if missing:
+        sample = list(missing.elements())[:limit]
+        parts.append(f"{sum(missing.values())} missing (e.g. {sample})")
+    if extra:
+        sample = list(extra.elements())[:limit]
+        parts.append(f"{sum(extra.values())} extra (e.g. {sample})")
+    return "; ".join(parts)
+
+
+def run_scheme(spec: ExperimentSpec, mode: str = "record") -> SchemeResult:
+    """Run one spec with a journaling oracle attached."""
+    network, traffic, injector = spec.build()
+    oracle = InvariantOracle(network, OracleConfig(mode=mode, journal=True))
+    point = simulate_point(network, traffic, spec.sim,
+                           injection_rate=spec.injection_rate,
+                           injector=injector, oracle=oracle)
+    families = {
+        key[len("violation_"):]: value
+        for key, value in network.stats.events.items()
+        if key.startswith("violation_")
+    }
+    return SchemeResult(
+        design=spec.design,
+        point=point,
+        delivered=Counter(oracle.delivered_signatures),
+        violations=oracle.violation_count,
+        violation_families=families,
+    )
+
+
+def conformance_sim() -> SimulationConfig:
+    """Default windows for a conformance run: modest measure window, a
+    long drain so every created packet can complete under every scheme."""
+    return SimulationConfig(warmup_cycles=200, measure_cycles=600,
+                            drain_cycles=2400, deadlock_abort_cycles=1500)
+
+
+def run_conformance(pattern: str = "uniform",
+                    injection_rate: float = 0.12,
+                    seed: int = 1,
+                    designs: Sequence[str] = DEFAULT_TRIAD,
+                    mesh_side: int = 4,
+                    sim: Optional[SimulationConfig] = None,
+                    mode: str = "record") -> DifferentialReport:
+    """Run one seeded experiment under every design and compare.
+
+    All designs must share a topology family and size so the seeded
+    traffic stream is identical across runs.  The offered load should be
+    below every scheme's saturation point — conformance asserts that the
+    complete traffic stream is delivered, which an overloaded run cannot
+    do inside its drain window.
+    """
+    if len(designs) < 2:
+        raise ValueError("conformance needs at least two designs")
+    sim = sim or conformance_sim()
+    specs = [
+        ExperimentSpec(design=design, pattern=pattern,
+                       injection_rate=injection_rate, seed=seed,
+                       mesh_side=mesh_side, sim=sim)
+        for design in designs
+    ]
+    results = [run_scheme(spec, mode=mode) for spec in specs]
+
+    disagreements: List[str] = []
+    for result in results:
+        if result.violations:
+            disagreements.append(
+                f"{result.design}: {result.violations} invariant "
+                f"violation(s) {result.violation_families}")
+    reference = results[0]
+    for result in results[1:]:
+        if result.wedged != reference.wedged:
+            disagreements.append(
+                f"deadlock verdict differs: {reference.design} "
+                f"wedged={reference.wedged} vs {result.design} "
+                f"wedged={result.wedged}")
+        if result.delivered != reference.delivered:
+            disagreements.append(
+                f"delivered multiset differs: {reference.design} vs "
+                f"{result.design}: "
+                + _multiset_diff(reference.delivered, result.delivered))
+    return DifferentialReport(
+        spec={"pattern": pattern, "injection_rate": injection_rate,
+              "seed": seed, "mesh_side": mesh_side,
+              "designs": list(designs)},
+        results=results,
+        disagreements=disagreements,
+    )

@@ -1,0 +1,175 @@
+"""Golden-trace scenarios and fixture regeneration.
+
+Two pinned scenarios anchor the behavioural regression suite:
+
+* ``mesh4_xy_spin``   — 4x4 mesh, XY (dimension-order) routing with the
+  SPIN control plane at an aggressively low ``tDD``.  XY on a mesh is
+  deadlock-free, so every detection is a congestion false positive — the
+  trace pins the *full* SPIN machinery (counters, probes, priority) on a
+  substrate whose correct behaviour is known.
+* ``torus4_bubble``   — 4x4 torus under bubble flow control (localized
+  avoidance), pinning the wraparound datapath and the bubble condition.
+
+``python -m repro.verify.golden [--out DIR]`` regenerates the fixture
+files; tests/integration/test_golden_traces.py replays the scenarios and
+fails with a first-divergence diff (:func:`repro.verify.trace
+.divergence_report`) when behaviour drifts.  Regenerate *only* when a
+change intentionally alters cycle-level behaviour, and say so in the
+commit message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import NetworkConfig, SpinParams
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+from repro.verify.oracle import InvariantOracle, OracleConfig
+from repro.verify.trace import TraceRecorder, fixture_payload, save_fixture
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One pinned, fully deterministic simulation."""
+
+    name: str
+    description: str
+    cycles: int
+    params: Dict[str, object]
+    builder: Callable[[], Tuple[Network, object]]
+
+    def record(self, with_oracle: bool = True
+               ) -> Tuple[TraceRecorder, Optional[InvariantOracle]]:
+        """Simulate the scenario under a fresh recorder (and oracle).
+
+        The oracle runs in raise mode: a golden scenario that trips an
+        invariant is a bug regardless of what the digests say.
+        """
+        network, traffic = self.builder()
+        simulator = Simulator()
+        simulator.register(traffic)
+        simulator.register(network)
+        oracle = None
+        if with_oracle:
+            oracle = InvariantOracle(network, OracleConfig(mode="raise"))
+            oracle.attach(simulator)
+        recorder = TraceRecorder(network)
+        simulator.register_observer(recorder)
+        simulator.run(self.cycles)
+        return recorder, oracle
+
+
+def _traffic(network: Network, rate: float, seed: int, cycles: int,
+             cols: int):
+    pattern = make_pattern("uniform", network.topology.num_nodes, cols)
+    return SyntheticTraffic(network, pattern, rate, seed=seed,
+                            stop_at=cycles)
+
+
+def _build_mesh4_xy_spin() -> Tuple[Network, object]:
+    from repro.routing.dor import DimensionOrderRouting
+
+    params = SCENARIOS["mesh4_xy_spin"].params
+    network = Network(
+        topology=MeshTopology(4, 4),
+        config=NetworkConfig(vcs_per_vnet=1),
+        routing=DimensionOrderRouting(params["seed"]),
+        spin=SpinParams(tdd=params["tdd"]),
+        seed=params["seed"],
+    )
+    traffic = _traffic(network, params["rate"], params["seed"],
+                       params["traffic_cycles"], cols=4)
+    return network, traffic
+
+
+def _build_torus4_bubble() -> Tuple[Network, object]:
+    from repro.deadlock.bubble import BubbleFlowControlRouting
+
+    params = SCENARIOS["torus4_bubble"].params
+    network = Network(
+        topology=TorusTopology(4, 4),
+        config=NetworkConfig(vcs_per_vnet=1),
+        routing=BubbleFlowControlRouting(params["seed"]),
+        spin=None,
+        seed=params["seed"],
+    )
+    traffic = _traffic(network, params["rate"], params["seed"],
+                       params["traffic_cycles"], cols=4)
+    return network, traffic
+
+
+SCENARIOS: Dict[str, GoldenScenario] = {}
+
+
+def _register(name: str, description: str, cycles: int,
+              params: Dict[str, object], builder) -> None:
+    SCENARIOS[name] = GoldenScenario(
+        name=name, description=description, cycles=cycles,
+        params=dict(params, cycles=cycles), builder=builder)
+
+
+_register(
+    "mesh4_xy_spin",
+    "4x4 mesh, XY routing + SPIN (tdd=12) overdriven past saturation: "
+    "pins detection/probe machinery on a deadlock-free substrate",
+    cycles=600,
+    params={"topology": "mesh4x4", "routing": "xy", "tdd": 12,
+            "rate": 0.80, "seed": 7, "traffic_cycles": 500},
+    builder=_build_mesh4_xy_spin,
+)
+_register(
+    "torus4_bubble",
+    "4x4 torus under bubble flow control: pins the wraparound datapath "
+    "and the bubble condition",
+    cycles=600,
+    params={"topology": "torus4x4", "routing": "bubble-dor",
+            "rate": 0.30, "seed": 11, "traffic_cycles": 500},
+    builder=_build_torus4_bubble,
+)
+
+
+def regenerate(out_dir, names=None) -> Dict[str, str]:
+    """Write fixture files for the named (default: all) scenarios.
+
+    Returns ``{scenario: digest}`` of everything written.
+    """
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    digests: Dict[str, str] = {}
+    for name in names or sorted(SCENARIOS):
+        scenario = SCENARIOS[name]
+        recorder, _ = scenario.record(with_oracle=True)
+        payload = fixture_payload(name, scenario.params, recorder)
+        save_fixture(os.path.join(out_dir, f"{name}.json"), payload)
+        digests[name] = payload["digest"]
+    return digests
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate golden-trace fixtures (docs/VERIFY.md)")
+    parser.add_argument("--out", default="tests/fixtures/golden",
+                        help="fixture directory (default: %(default)s)")
+    parser.add_argument("scenarios", nargs="*",
+                        help="scenario names (default: all)")
+    args = parser.parse_args(argv)
+    unknown = set(args.scenarios) - set(SCENARIOS)
+    if unknown:
+        parser.error(f"unknown scenario(s) {sorted(unknown)}; "
+                     f"known: {sorted(SCENARIOS)}")
+    for name, digest in regenerate(args.out, args.scenarios or None).items():
+        print(f"{name}: {digest}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""Golden-trace recording: compact per-cycle event digests.
+
+A :class:`TraceRecorder` is a simulator *observer* that condenses each
+settled cycle into a small, uid-free record of observable behaviour:
+
+    [cycle, created Δ, injected Δ, delivered Δ, lost Δ,
+     packets in flight, NIC backlog, frozen VCs, [event name, Δ] ...]
+
+Packet uids are deliberately excluded — they come from a process-global
+counter, so they depend on what else ran in the process; everything in a
+record is a pure function of (design, traffic, seed, cycles).  Each record
+is hashed (CRC-32 over its canonical JSON) into a per-cycle digest and the
+whole run into one SHA-256 — two runs agree iff their digests agree, and
+when they do not, :func:`first_divergence` plus :func:`divergence_report`
+turn the two record streams into a readable first-difference diff.
+
+Fixture files (``tests/fixtures/golden/*.json``, written by
+``python -m repro.verify.golden``) carry the records alongside the digests
+so a regression failure can show *what* changed, not just that something
+did.  See docs/VERIFY.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Fixture schema identifier.
+TRACE_FORMAT = "repro.golden-trace/v1"
+
+
+class TraceRecorder:
+    """Records one compact behavioural record per simulated cycle.
+
+    Register via :meth:`repro.sim.engine.Simulator.register_observer` so
+    records always describe settled post-cycle state.  Composes freely with
+    the invariant oracle (observers run in registration order).
+    """
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.records: List[list] = []
+        self.cycle_digests: List[int] = []
+        self._last_counts = (0, 0, 0, 0)
+        self._last_events: Dict[str, int] = {}
+
+    # -- observer hook -------------------------------------------------
+    def phase_collect(self, cycle: int) -> None:
+        stats = self.network.stats
+        counts = (stats.packets_created, stats.packets_injected,
+                  stats.packets_delivered, stats.packets_lost)
+        deltas = [now - before
+                  for now, before in zip(counts, self._last_counts)]
+        self._last_counts = counts
+        events = []
+        for name in sorted(stats.events):
+            value = stats.events[name]
+            delta = value - self._last_events.get(name, 0)
+            if delta:
+                events.append([name, delta])
+                self._last_events[name] = value
+        frozen = 0
+        spin = self.network.spin
+        if spin is not None:
+            frozen = spin.frozen_vc_count()
+        record = [cycle] + deltas + [
+            self.network.packets_in_flight(),
+            self.network.total_backlog(),
+            frozen,
+        ] + events
+        self.records.append(record)
+        self.cycle_digests.append(record_digest(record))
+
+    # -- summaries -----------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of all records."""
+        return trace_digest(self.records)
+
+
+def record_digest(record: list) -> int:
+    """CRC-32 of one record's canonical JSON (stable across processes)."""
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    return zlib.crc32(payload.encode("ascii"))
+
+
+def trace_digest(records: List[list]) -> str:
+    """SHA-256 hex digest over the canonical JSON of a record stream."""
+    hasher = hashlib.sha256()
+    for record in records:
+        payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        hasher.update(payload.encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def first_divergence(golden: List[list], observed: List[list]
+                     ) -> Optional[Tuple[int, Optional[list], Optional[list]]]:
+    """First index where two record streams differ, or None when equal.
+
+    Returns ``(index, golden_record, observed_record)``; a record is None
+    when one stream ended early.
+    """
+    for index in range(max(len(golden), len(observed))):
+        expected = golden[index] if index < len(golden) else None
+        actual = observed[index] if index < len(observed) else None
+        if expected != actual:
+            return index, expected, actual
+    return None
+
+
+def divergence_report(golden: List[list], observed: List[list],
+                      context: int = 2) -> str:
+    """Human-readable first-difference diff between two record streams."""
+    hit = first_divergence(golden, observed)
+    if hit is None:
+        return "traces are identical"
+    index, expected, actual = hit
+    lines = [f"first divergence at record {index} "
+             f"(cycle {expected[0] if expected else actual[0]}):"]
+    start = max(0, index - context)
+    for i in range(start, index):
+        lines.append(f"  ...    {golden[i]}")
+    lines.append(f"  golden   {expected}")
+    lines.append(f"  observed {actual}")
+    lines.append(
+        "  fields: [cycle, created, injected, delivered, lost, in_flight, "
+        "backlog, frozen_vcs, [event, delta]...]")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fixture I/O
+# ----------------------------------------------------------------------
+def fixture_payload(scenario: str, spec_dict: dict,
+                    recorder: TraceRecorder) -> dict:
+    """The JSON document committed as a golden-trace fixture."""
+    return {
+        "format": TRACE_FORMAT,
+        "scenario": scenario,
+        "spec": spec_dict,
+        "cycles": len(recorder.records),
+        "digest": recorder.digest(),
+        "cycle_digests": recorder.cycle_digests,
+        "records": recorder.records,
+    }
+
+
+def save_fixture(path, payload: dict) -> None:
+    """Write a fixture document (stable formatting for clean diffs)."""
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"),
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def load_fixture(path) -> dict:
+    """Read and validate a golden-trace fixture.
+
+    Raises:
+        ConfigurationError: On a wrong or unversioned format marker.
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != TRACE_FORMAT:
+        raise ConfigurationError(
+            "not a golden-trace fixture",
+            path=str(path), format=payload.get("format"),
+            expected=TRACE_FORMAT)
+    return payload

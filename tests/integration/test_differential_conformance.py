@@ -1,0 +1,81 @@
+"""Differential conformance: SPIN vs Static Bubble vs escape-VC agree.
+
+The acceptance gate of the conformance harness: on seeded sub-saturation
+loads, all three deadlock-freedom theories deliver the identical multiset
+of packets with identical deadlock verdicts and zero invariant
+violations.  Disagreement output is self-describing via
+``DifferentialReport.summary()``.
+"""
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.verify.differential import (
+    DEFAULT_TRIAD,
+    run_conformance,
+)
+
+# Full delivery needs a drain window generous enough for the slowest
+# scheme; keep the measure window modest so three designs x three seeds
+# stay fast.
+SIM = SimulationConfig(warmup_cycles=150, measure_cycles=450,
+                       drain_cycles=2000, deadlock_abort_cycles=1200)
+
+
+class TestTriadAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_uniform_triad_agrees(self, seed):
+        report = run_conformance(pattern="uniform", injection_rate=0.10,
+                                 seed=seed, sim=SIM)
+        assert report.agreed, report.summary()
+        assert len(report.results) == len(DEFAULT_TRIAD)
+        reference = report.results[0]
+        assert sum(reference.delivered.values()) > 0
+        for result in report.results:
+            assert result.violations == 0
+            assert not result.wedged
+            assert result.delivered == reference.delivered
+
+    def test_transpose_triad_agrees(self):
+        report = run_conformance(pattern="transpose", injection_rate=0.08,
+                                 seed=4, sim=SIM)
+        assert report.agreed, report.summary()
+
+    def test_report_serializes(self):
+        report = run_conformance(injection_rate=0.08, seed=5, sim=SIM)
+        payload = report.to_dict()
+        # The whole report must be JSON-serializable for `--output`.
+        text = json.dumps(payload, sort_keys=True)
+        back = json.loads(text)
+        assert back["agreed"] == report.agreed
+        assert [r["design"] for r in back["results"]] == list(DEFAULT_TRIAD)
+
+
+class TestCliVerify:
+    def test_cli_verify_exits_zero_and_writes_report(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        out = tmp_path / "conformance.json"
+        code = main(["verify", "--rate", "0.08", "--seeds", "6",
+                     "--output", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "AGREED" in captured
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro.verify-conformance/v1"
+        assert payload["agreed"] is True
+        assert len(payload["reports"]) == 1
+
+    def test_cli_verify_rejects_bad_rate(self):
+        from repro.cli import main
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="offered load"):
+            main(["verify", "--rate", "1.5"])
+        with pytest.raises(ConfigurationError, match="at least two"):
+            main(["verify", "--designs", "mesh:escapevc-2vc"])
+        with pytest.raises(ConfigurationError, match="--seeds"):
+            main(["verify", "--seeds", "-1"])

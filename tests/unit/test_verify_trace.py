@@ -1,0 +1,186 @@
+"""Unit tests for repro.verify.trace — recorder, digests, diffs, fixtures."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+from repro.verify.trace import (
+    TRACE_FORMAT,
+    TraceRecorder,
+    divergence_report,
+    first_divergence,
+    fixture_payload,
+    load_fixture,
+    record_digest,
+    save_fixture,
+    trace_digest,
+)
+
+from tests.conftest import make_mesh_network
+
+
+def _record_run(cycles: int = 120, seed: int = 3) -> TraceRecorder:
+    network = make_mesh_network(seed=seed)
+    pattern = make_pattern("uniform", network.topology.num_nodes, 4)
+    traffic = SyntheticTraffic(network, pattern, 0.10, seed=seed,
+                               stop_at=cycles)
+    simulator = Simulator()
+    simulator.register(traffic)
+    simulator.register(network)
+    recorder = TraceRecorder(network)
+    simulator.register_observer(recorder)
+    simulator.run(cycles)
+    return recorder
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+def test_recorder_one_record_per_cycle():
+    recorder = _record_run(cycles=80)
+    assert len(recorder.records) == 80
+    assert len(recorder.cycle_digests) == 80
+    # First field of each record is the cycle number, in order.
+    assert [record[0] for record in recorder.records] == list(range(80))
+
+
+def test_records_are_uid_free_and_json_canonical():
+    recorder = _record_run(cycles=60)
+    for record in recorder.records:
+        # cycle + 4 deltas + in_flight + backlog + frozen, then event pairs.
+        assert len(record) >= 8
+        for field in record[:8]:
+            assert isinstance(field, int)
+        for event in record[8:]:
+            name, delta = event
+            assert isinstance(name, str)
+            assert isinstance(delta, int)
+            assert delta != 0
+        # Round-trips through canonical JSON unchanged (fixture safety).
+        payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        assert json.loads(payload) == record
+
+
+def test_deltas_sum_to_totals():
+    recorder = _record_run(cycles=100)
+    network = recorder.network
+    created = sum(record[1] for record in recorder.records)
+    injected = sum(record[2] for record in recorder.records)
+    delivered = sum(record[3] for record in recorder.records)
+    lost = sum(record[4] for record in recorder.records)
+    assert created == network.stats.packets_created
+    assert injected == network.stats.packets_injected
+    assert delivered == network.stats.packets_delivered
+    assert lost == network.stats.packets_lost
+    assert delivered > 0  # the run actually did something
+
+
+def test_identical_runs_agree_bit_for_bit():
+    first = _record_run(cycles=90, seed=5)
+    second = _record_run(cycles=90, seed=5)
+    assert first.records == second.records
+    assert first.cycle_digests == second.cycle_digests
+    assert first.digest() == second.digest()
+    assert first_divergence(first.records, second.records) is None
+
+
+def test_different_seeds_diverge():
+    first = _record_run(cycles=90, seed=5)
+    second = _record_run(cycles=90, seed=6)
+    assert first.digest() != second.digest()
+    assert first_divergence(first.records, second.records) is not None
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+def test_record_digest_stability():
+    record = [3, 1, 1, 0, 0, 4, 2, 0, ["probes_sent", 2]]
+    assert record_digest(record) == record_digest(list(record))
+    assert record_digest(record) != record_digest(record[:-1])
+
+
+def test_trace_digest_sensitive_to_order_and_content():
+    a = [[0, 1], [1, 2]]
+    b = [[1, 2], [0, 1]]
+    assert trace_digest(a) != trace_digest(b)
+    assert trace_digest(a) == trace_digest([list(r) for r in a])
+    assert len(trace_digest(a)) == 64  # sha256 hex
+
+
+# ----------------------------------------------------------------------
+# Divergence diffs
+# ----------------------------------------------------------------------
+def test_first_divergence_positions():
+    golden = [[0, 1], [1, 2], [2, 3]]
+    same = [list(r) for r in golden]
+    assert first_divergence(golden, same) is None
+
+    mutated = [[0, 1], [1, 9], [2, 3]]
+    index, expected, actual = first_divergence(golden, mutated)
+    assert (index, expected, actual) == (1, [1, 2], [1, 9])
+
+    truncated = golden[:2]
+    index, expected, actual = first_divergence(golden, truncated)
+    assert (index, expected, actual) == (2, [2, 3], None)
+
+    extended = golden + [[3, 4]]
+    index, expected, actual = first_divergence(golden, extended)
+    assert (index, expected, actual) == (3, None, [3, 4])
+
+
+def test_divergence_report_readable():
+    golden = [[0, 0, 0, 0, 0, 0, 0, 0],
+              [1, 1, 0, 0, 0, 1, 0, 0],
+              [2, 0, 1, 0, 0, 1, 0, 0]]
+    observed = [list(r) for r in golden]
+    observed[2][2] = 0
+    report = divergence_report(golden, observed)
+    assert "first divergence at record 2" in report
+    assert "cycle 2" in report
+    assert "golden" in report and "observed" in report
+    assert "fields:" in report
+    # Context lines precede the diff pair.
+    assert str(golden[1]) in report
+
+
+def test_divergence_report_identical():
+    golden = [[0, 1]]
+    assert divergence_report(golden, [list(golden[0])]) \
+        == "traces are identical"
+
+
+# ----------------------------------------------------------------------
+# Fixture I/O
+# ----------------------------------------------------------------------
+def test_fixture_roundtrip(tmp_path):
+    recorder = _record_run(cycles=40)
+    payload = fixture_payload("unit_scenario", {"seed": 3}, recorder)
+    assert payload["format"] == TRACE_FORMAT
+    assert payload["cycles"] == 40
+    assert payload["digest"] == recorder.digest()
+    path = tmp_path / "unit_scenario.json"
+    save_fixture(path, payload)
+    loaded = load_fixture(path)
+    assert loaded == payload
+    # The digest in the file matches a recomputation from its records.
+    assert trace_digest(loaded["records"]) == loaded["digest"]
+
+
+def test_load_fixture_rejects_wrong_format(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"format": "something-else", "records": []}))
+    with pytest.raises(ConfigurationError) as excinfo:
+        load_fixture(path)
+    assert "golden-trace" in str(excinfo.value)
+
+    path2 = tmp_path / "unversioned.json"
+    path2.write_text(json.dumps({"records": []}))
+    with pytest.raises(ConfigurationError):
+        load_fixture(path2)
