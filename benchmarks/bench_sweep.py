@@ -12,8 +12,19 @@ once across ``--jobs`` worker processes — verifies the two runs produce
       "serial":   {"wall_time_s": ..., "cycles_per_sec": ..., "points_per_sec": ...},
       "parallel": {"wall_time_s": ..., "cycles_per_sec": ..., "points_per_sec": ...},
       "speedup": serial / parallel,
-      "identical_points": true
+      "identical_points": true,
+      "telemetry": {
+        "disabled": {...},              # same leg shape; no observer attached
+        "enabled": {...},               # TelemetryObserver recording each point
+        "enabled_overhead_pct": ...,    # cycles/sec cost of recording
+        "points_match_ignoring_telemetry_events": true
+      }
     }
+
+The ``telemetry.disabled`` leg re-times the serial path with the telemetry
+plumbing in place but the flag off (no observer is registered, so the hot
+loop is byte-for-byte the pre-telemetry schedule); comparing it against
+``serial`` bounds the disabled-mode overhead, which must stay ≤ 1%.
 
 This file is the start of the repo's measurable perf trajectory: every PR
 that touches the hot path can re-run it and diff the JSON.  Usage::
@@ -87,6 +98,15 @@ def _stats(points, wall: float) -> dict:
     }
 
 
+def _strip_telemetry_events(point):
+    """A copy of a point without its ``telemetry_*`` event counters."""
+    from dataclasses import replace
+
+    events = {name: value for name, value in point.events.items()
+              if not name.startswith("telemetry_")}
+    return replace(point, events=events)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     rates = [float(x) for x in args.rates.split(",")]
@@ -104,6 +124,34 @@ def main(argv=None) -> int:
         ParallelRunner(max_workers=args.jobs, backend="process"), specs)
     identical = serial_points == parallel_points
 
+    # Telemetry legs: disabled (plumbing present, no observer — bounds the
+    # disabled-mode overhead against the serial leg) and enabled
+    # (recording observer on every point — the cost of observability).
+    serial_runner = ParallelRunner(max_workers=1, backend="serial")
+    disabled_points, disabled_wall = _leg(serial_runner, specs)
+    from dataclasses import replace
+
+    telemetry_specs = [replace(spec, telemetry=True) for spec in specs]
+    enabled_points, enabled_wall = _leg(serial_runner, telemetry_specs)
+    disabled_stats = _stats(disabled_points, disabled_wall)
+    enabled_stats = _stats(enabled_points, enabled_wall)
+    base_cps = _stats(serial_points, serial_wall)["cycles_per_sec"]
+    disabled_cps = disabled_stats["cycles_per_sec"]
+    enabled_cps = enabled_stats["cycles_per_sec"]
+    telemetry_record = {
+        "disabled": disabled_stats,
+        "enabled": enabled_stats,
+        "disabled_overhead_pct": (
+            round((base_cps - disabled_cps) / base_cps * 100.0, 2)
+            if base_cps else None),
+        "enabled_overhead_pct": (
+            round((disabled_cps - enabled_cps) / disabled_cps * 100.0, 2)
+            if disabled_cps else None),
+        "points_match_ignoring_telemetry_events": (
+            [_strip_telemetry_events(p) for p in enabled_points]
+            == serial_points),
+    }
+
     record = {
         "schema": BENCH_SCHEMA,
         "design": base.design,
@@ -120,12 +168,17 @@ def main(argv=None) -> int:
         "speedup": (round(serial_wall / parallel_wall, 3)
                     if parallel_wall > 0 else None),
         "identical_points": identical,
+        "telemetry": telemetry_record,
     }
     Path(args.output).write_text(json.dumps(record, indent=2,
                                             sort_keys=True) + "\n")
     print(json.dumps(record, indent=2, sort_keys=True))
     if not identical:
         print("ERROR: serial and parallel points diverged", file=sys.stderr)
+        return 1
+    if not telemetry_record["points_match_ignoring_telemetry_events"]:
+        print("ERROR: telemetry-enabled points diverged beyond the "
+              "telemetry_* event counters", file=sys.stderr)
         return 1
     return 0
 

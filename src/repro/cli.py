@@ -83,8 +83,9 @@ def _validate_run_args(args) -> None:
         parse_fault_spec(args.faults)  # raises FaultInjectionError on typos
 
 
-def _add_run_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--design", required=True,
+def _add_run_args(parser: argparse.ArgumentParser,
+                  design_required: bool = True) -> None:
+    parser.add_argument("--design", required=design_required,
                         help="design name (see `designs`)")
     parser.add_argument("--pattern", default="uniform",
                         help="traffic pattern name")
@@ -108,6 +109,10 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
                         help="attach the runtime invariant oracle; the run "
                         "fails on the first violated invariant "
                         "(docs/VERIFY.md)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="attach the recording telemetry observer; "
+                        "telemetry_* tallies land in the point's event "
+                        "counters (docs/TELEMETRY.md)")
 
 
 def cmd_designs(args) -> int:
@@ -129,7 +134,7 @@ def cmd_run(args) -> int:
         args.design, args.pattern, args.rate, _sim_config(args),
         seed=args.seed, mesh_side=args.mesh_side, dragonfly=dragonfly,
         tdd=args.tdd, faults=args.faults, fault_seed=args.fault_seed,
-        verify=args.verify)
+        verify=args.verify, telemetry=args.telemetry)
     rows = [
         ["offered load (flits/node/cycle)", args.rate],
         ["mean latency (cycles)", round(point.mean_latency, 2)],
@@ -141,6 +146,13 @@ def cmd_run(args) -> int:
         ["probes sent", point.events.get("probes_sent", 0)],
         ["mean hops", round(network.stats.mean_hops(), 3)],
     ]
+    if args.telemetry:
+        rows += [
+            ["telemetry samples", point.events.get("telemetry_samples", 0)],
+            ["SPIN spans traced", point.events.get("telemetry_spans", 0)],
+            ["spans recovered",
+             point.events.get("telemetry_spans_recovered", 0)],
+        ]
     if args.faults:
         rows += [
             ["faults injected", point.events.get("faults_injected", 0)],
@@ -167,7 +179,7 @@ def cmd_sweep(args) -> int:
         args.design, args.pattern, rates, _sim_config(args), seed=args.seed,
         mesh_side=args.mesh_side, dragonfly=dragonfly, tdd=args.tdd,
         faults=args.faults, fault_seed=args.fault_seed, jobs=args.jobs,
-        verify=args.verify)
+        verify=args.verify, telemetry=args.telemetry)
     rows = [
         [p.injection_rate, round(p.mean_latency, 1), round(p.throughput, 4),
          round(p.delivery_ratio, 3), p.wedged, p.events.get("spins", 0)]
@@ -238,6 +250,113 @@ def cmd_verify(args) -> int:
     return 0 if agreed else 1
 
 
+def _topology_meta(network) -> dict:
+    """Header fields describing the traced network's shape."""
+    topology = network.topology
+    name = type(topology).__name__.replace("Topology", "").lower()
+    meta = {"topology": name}
+    cols = getattr(topology, "cols", None)
+    if name == "mesh" and cols:
+        meta["mesh_side"] = cols
+    return meta
+
+
+def cmd_trace(args) -> int:
+    """Record one run under telemetry; emit JSONL + Chrome trace files."""
+    import json
+
+    from repro.telemetry import (
+        TelemetryConfig,
+        TelemetryObserver,
+        build_records,
+        chrome_trace,
+        write_jsonl,
+    )
+
+    if args.interval < 1:
+        raise ConfigurationError("--interval must be >= 1",
+                                 interval=args.interval)
+    config = TelemetryConfig(sample_interval=args.interval,
+                             packet_traces=args.packet_traces)
+
+    if args.scenario:
+        from repro.sim.engine import Simulator
+        from repro.verify.golden import SCENARIOS
+
+        if args.scenario not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown scenario {args.scenario!r}",
+                known=sorted(SCENARIOS))
+        scenario = SCENARIOS[args.scenario]
+        network, traffic = scenario.builder()
+        simulator = Simulator()
+        if traffic is not None:
+            simulator.register(traffic)
+        simulator.register(network)
+        observer = TelemetryObserver(network, config).attach(simulator)
+        simulator.run(scenario.cycles)
+        observer.finalize(simulator.cycle)
+        meta = {"scenario": scenario.name, "cycles": simulator.cycle}
+        for key in ("routing", "tdd", "rate", "seed"):
+            if key in scenario.params:
+                meta[key] = scenario.params[key]
+    else:
+        if not args.design or args.rate is None:
+            raise ConfigurationError(
+                "trace needs --design and --rate (or --scenario NAME)")
+        get_design(args.design)  # fail fast with the full list on a typo
+        _validate_run_args(args)
+        from repro.harness.runner import ExperimentSpec
+        from repro.stats.sweep import simulate_point
+
+        spec = ExperimentSpec(
+            design=args.design, pattern=args.pattern,
+            injection_rate=args.rate, seed=args.seed,
+            mesh_side=args.mesh_side,
+            dragonfly=_parse_dragonfly(args.dragonfly), tdd=args.tdd,
+            faults=args.faults, fault_seed=args.fault_seed,
+            sim=_sim_config(args), verify=args.verify)
+        network, traffic, injector = spec.build()
+        observer = TelemetryObserver(network, config)
+        point = simulate_point(network, traffic, spec.sim,
+                               injection_rate=spec.injection_rate,
+                               injector=injector, verify=spec.verify,
+                               telemetry_observer=observer)
+        meta = {"design": spec.design, "pattern": spec.pattern,
+                "injection_rate": spec.injection_rate, "seed": spec.seed,
+                "cycles": point.cycles, "wedged": point.wedged}
+    meta.update(_topology_meta(network))
+
+    records = build_records(observer, meta)
+    jsonl_path = f"{args.output}.jsonl"
+    chrome_path = f"{args.output}.chrome.json"
+    lines = write_jsonl(jsonl_path, records)
+    with open(chrome_path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(records), handle, sort_keys=True)
+        handle.write("\n")
+    episodes = sum(1 for span in observer.spans
+                   if span.kind == "spin_episode")
+    print(f"recorded {len(observer.samples)} samples, "
+          f"{episodes} SPIN episode(s), "
+          f"{len(observer.spans) - episodes} frozen span(s), "
+          f"{len(observer.hops)} hop record(s)")
+    print(f"wrote {jsonl_path} ({lines} records)")
+    print(f"wrote {chrome_path}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Summarize a recorded telemetry log (spans, hot links, wedges)."""
+    from repro.telemetry import TraceReport
+
+    if args.top_links < 1:
+        raise ConfigurationError("--top-links must be >= 1",
+                                 top_links=args.top_links)
+    report = TraceReport.load(args.trace)
+    print(report.render(top_links=args.top_links))
+    return 0
+
+
 def cmd_area(args) -> int:
     spec = RouterSpec(radix=args.radix, vcs=args.vcs,
                       buffer_depth=args.depth, flit_bits=args.flit_bits)
@@ -299,6 +418,38 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="FILE.json",
                                help="write the full reports as JSON")
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="record one run's telemetry; emit JSONL + Chrome trace files")
+    _add_run_args(trace_parser, design_required=False)
+    trace_parser.add_argument("--rate", type=float, default=None,
+                              help="offered load in flits/node/cycle "
+                              "(required unless --scenario)")
+    trace_parser.add_argument("--scenario", default=None, metavar="NAME",
+                              help="record a pinned golden scenario "
+                              "instead of a design point "
+                              "(repro.verify.golden, e.g. "
+                              "mesh4_square_deadlock)")
+    trace_parser.add_argument("--interval", type=int, default=16,
+                              help="cycles between metric samples "
+                              "(default: %(default)s)")
+    trace_parser.add_argument("--packet-traces", action="store_true",
+                              help="also record per-packet hop/delivery "
+                              "events")
+    trace_parser.add_argument("--output", default="trace", metavar="PREFIX",
+                              help="writes PREFIX.jsonl and "
+                              "PREFIX.chrome.json (default: %(default)s)")
+
+    report_parser = sub.add_parser(
+        "report",
+        help="summarize a recorded telemetry log: SPIN episodes, hot "
+        "links, wedge timeline, occupancy heatmap")
+    report_parser.add_argument("trace", metavar="TRACE.jsonl",
+                               help="JSONL log written by `trace`")
+    report_parser.add_argument("--top-links", type=int, default=8,
+                               help="hot links to list "
+                               "(default: %(default)s)")
+
     area_parser = sub.add_parser("area", help="router cost model")
     area_parser.add_argument("--radix", type=int, default=5)
     area_parser.add_argument("--vcs", type=int, default=3)
@@ -315,6 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "verify": cmd_verify,
+        "trace": cmd_trace,
+        "report": cmd_report,
         "area": cmd_area,
     }
     return handlers[args.command](args)

@@ -65,6 +65,11 @@ class ExperimentSpec:
             to the run, failing it on the first violated invariant.  The
             ``REPRO_VERIFY`` environment variable enables the oracle for
             every run regardless of this flag (docs/VERIFY.md).
+        telemetry: Attach the recording telemetry observer
+            (:mod:`repro.telemetry`) with default configuration; its
+            ``telemetry_*`` tallies land in ``SweepPoint.events``.  The
+            ``REPRO_TELEMETRY`` environment variable enables telemetry
+            for every run regardless of this flag (docs/TELEMETRY.md).
 
     Construction validates everything that can be validated without
     building a network, so a bad spec fails in the parent process before
@@ -83,6 +88,7 @@ class ExperimentSpec:
     fault_seed: int = 0
     sim: SimulationConfig = field(default_factory=SimulationConfig)
     verify: bool = False
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "design", resolve_design_name(self.design))
@@ -139,7 +145,8 @@ class ExperimentSpec:
                                injection_rate=self.injection_rate,
                                injector=injector,
                                raise_on_wedge=raise_on_wedge,
-                               verify=self.verify)
+                               verify=self.verify,
+                               telemetry=self.telemetry)
         return network, point
 
     # ------------------------------------------------------------------
@@ -187,6 +194,7 @@ class ExperimentSpec:
             "fault_seed": self.fault_seed,
             "sim": self.sim.to_dict(),
             "verify": self.verify,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -240,7 +248,8 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
                tdd: Optional[int] = None,
                faults: Optional[str] = None,
                fault_seed: int = 0,
-               verify: bool = False):
+               verify: bool = False,
+               telemetry: bool = False):
     """Run one design at one load; returns (network, SweepPoint).
 
     Thin wrapper over :class:`ExperimentSpec` kept for convenience and
@@ -257,7 +266,8 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
         injection_rate=injection_rate,
         sim=sim_config or SimulationConfig(), seed=seed,
         mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
-        faults=faults, fault_seed=fault_seed, verify=verify)
+        faults=faults, fault_seed=fault_seed, verify=verify,
+        telemetry=telemetry)
     return spec.run()
 
 
@@ -271,7 +281,8 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
                   faults: Optional[str] = None,
                   fault_seed: int = 0,
                   jobs: int = 1,
-                  verify: bool = False) -> Tuple[List[SweepPoint], float]:
+                  verify: bool = False,
+                  telemetry: bool = False) -> Tuple[List[SweepPoint], float]:
     """Latency-vs-injection curve for one design and pattern.
 
     Args:
@@ -288,7 +299,8 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
         design=design_name, pattern=pattern_name, injection_rate=rates[0],
         sim=sim_config or SimulationConfig(), seed=seed,
         mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
-        faults=faults, fault_seed=fault_seed, verify=verify)
+        faults=faults, fault_seed=fault_seed, verify=verify,
+        telemetry=telemetry)
     curve = spec.curve(rates)
     if jobs > 1:
         from repro.harness.parallel import ParallelRunner

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from math import ceil
 from typing import List, Optional
 
 
@@ -33,7 +34,14 @@ class LatencySummary:
         count = len(ordered)
 
         def pct(fraction: float) -> float:
-            return float(ordered[min(count - 1, int(fraction * count))])
+            # Nearest-rank percentile: the smallest ordered value with at
+            # least ``fraction`` of the samples at or below it, i.e.
+            # ordered[ceil(fraction * count) - 1].  (The previous
+            # ``int(fraction * count)`` truncation indexed one element too
+            # high whenever fraction * count was integral — at count=100,
+            # p50 read ordered[50] instead of ordered[49].)
+            rank = ceil(fraction * count)
+            return float(ordered[max(rank, 1) - 1])
 
         return LatencySummary(
             count=count,

@@ -118,7 +118,9 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
                    injector=None,
                    raise_on_wedge: bool = False,
                    verify: bool = False,
-                   oracle=None) -> SweepPoint:
+                   oracle=None,
+                   telemetry: bool = False,
+                   telemetry_observer=None) -> SweepPoint:
     """Simulate already-built components through one measurement run.
 
     This is the single engine behind :func:`run_point`,
@@ -151,11 +153,22 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
             :class:`~repro.verify.oracle.InvariantOracle` to attach
             (overrides ``verify`` and the environment gate).  Must be
             constructed for this ``network``.
+        telemetry: Attach a recording
+            :class:`~repro.telemetry.observer.TelemetryObserver` with
+            default configuration.  Independently of this flag, the
+            ``REPRO_TELEMETRY`` environment variable enables telemetry on
+            every run without code changes (docs/TELEMETRY.md).
+        telemetry_observer: A pre-configured
+            :class:`~repro.telemetry.observer.TelemetryObserver` to
+            attach (overrides ``telemetry`` and the environment gate) —
+            how ``repro-sim trace`` keeps the recording for export.  Must
+            be constructed for this ``network``.
 
     Returns:
         The measured :class:`SweepPoint`.  Oracle findings (if any) are in
         :attr:`SweepPoint.invariant_violations` and the
-        ``violation_<name>`` event counters.
+        ``violation_<name>`` event counters; telemetry tallies (if
+        enabled) are the ``telemetry_*`` event counters.
     """
     configured = getattr(traffic, "injection_rate", None)
     if injection_rate is None:
@@ -189,6 +202,20 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
             raise ConfigurationError(
                 "oracle was built for a different network")
         oracle.attach(simulator)
+    if telemetry_observer is None:
+        if telemetry:
+            from repro.telemetry.observer import TelemetryObserver
+
+            telemetry_observer = TelemetryObserver(network)
+        else:
+            from repro.telemetry.observer import telemetry_from_env
+
+            telemetry_observer = telemetry_from_env(network)
+    if telemetry_observer is not None:
+        if telemetry_observer.network is not network:
+            raise ConfigurationError(
+                "telemetry observer was built for a different network")
+        telemetry_observer.attach(simulator)
     network.stats.open_window(sim_config.warmup_cycles, stop_at)
 
     simulator.run(sim_config.warmup_cycles)
@@ -214,6 +241,8 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
                     **_wedge_snapshot(network, simulator.cycle, abort_after))
             break
 
+    if telemetry_observer is not None:
+        telemetry_observer.finalize(simulator.cycle)
     return SweepPoint(
         injection_rate=injection_rate,
         wedged=wedged,

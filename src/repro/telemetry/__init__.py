@@ -1,0 +1,58 @@
+"""Telemetry for SPIN simulations: metrics, spans, traces, reports.
+
+The observability counterpart of :mod:`repro.verify` — same zero-cost
+simulator-observer hook, but *recording* instead of asserting.  Layers
+(see docs/TELEMETRY.md):
+
+* :mod:`repro.telemetry.registry` — typed metric families (counters,
+  gauges, histograms) keyed by component.
+* :mod:`repro.telemetry.spans` — SPIN control-plane span reconstruction
+  from FSM transitions (detection/recovery latency per episode).
+* :mod:`repro.telemetry.observer` — the per-cycle recorder; enabled via
+  ``ExperimentSpec(telemetry=True)``, ``--telemetry``, or the
+  ``REPRO_TELEMETRY`` environment variable.
+* :mod:`repro.telemetry.export` — JSONL event log and Chrome
+  ``trace_event`` exporters plus the dependency-free trace validator.
+* :mod:`repro.telemetry.report` — ``repro-sim report`` analytics: span
+  tables, hot links, wedge timeline, occupancy heatmap.
+"""
+
+from repro.telemetry.export import (
+    CHROME_FORMAT,
+    JSONL_FORMAT,
+    build_records,
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.observer import (
+    TelemetryConfig,
+    TelemetryObserver,
+    config_from_env_value,
+    telemetry_from_env,
+)
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.report import TraceReport
+from repro.telemetry.spans import SpanTracer, SpinSpan
+
+__all__ = [
+    "CHROME_FORMAT",
+    "JSONL_FORMAT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanTracer",
+    "SpinSpan",
+    "TelemetryConfig",
+    "TelemetryObserver",
+    "TraceReport",
+    "build_records",
+    "chrome_trace",
+    "config_from_env_value",
+    "read_jsonl",
+    "telemetry_from_env",
+    "validate_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,245 @@
+"""The metrics registry: typed, component-keyed measurement families.
+
+Telemetry keeps its measurements in one :class:`MetricsRegistry` per run so
+every consumer (exporters, the ``report`` CLI, tests) reads a single,
+uniformly-shaped store instead of poking at observer internals.  Three
+metric kinds cover the paper's temporal claims:
+
+* :class:`Counter`   — monotone event tallies (credit stalls, spans by
+  outcome).
+* :class:`Gauge`     — bounded time-series of sampled values (per-router VC
+  occupancy, per-link utilization deltas), each point ``(cycle, value)``.
+* :class:`Histogram` — windowed distributions with fixed bin edges
+  (detection latency, recovery latency, spins per episode).
+
+Families are named (``"router_occupancy"``) and keyed by component —
+a router id, a ``(router, port)`` link key, or ``None`` for network-wide
+series — so ``registry.gauge("router_occupancy", 3)`` is *the* occupancy
+series of router 3, wherever it is consulted from.
+
+Everything here is plain-python and deterministic: identical simulations
+produce identical registries, which is what lets telemetry counters merge
+into :class:`~repro.stats.sweep.SweepPoint.events` without perturbing the
+``--jobs N`` byte-identity guarantee.  See docs/TELEMETRY.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default histogram bin edges for cycle-latency distributions (powers of
+#: two: SPIN latencies span detection thresholds of 8..128+ cycles).
+LATENCY_BINS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class Counter:
+    """A monotone event tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the tally."""
+        if amount < 0:
+            raise ConfigurationError("counters are monotone",
+                                     amount=amount)
+        self.value += amount
+
+
+class Gauge:
+    """A bounded time-series of sampled values.
+
+    Keeps at most ``capacity`` most-recent samples (a ring on a python
+    list); the series is always in ascending-cycle order.
+    """
+
+    __slots__ = ("capacity", "_samples", "_start")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ConfigurationError("gauge capacity must be >= 1",
+                                     capacity=capacity)
+        self.capacity = capacity
+        self._samples: List[Tuple[int, float]] = []
+        self._start = 0  # ring head when saturated
+
+    def record(self, cycle: int, value: float) -> None:
+        """Append one sample (cycles must be non-decreasing)."""
+        samples = self._samples
+        if len(samples) < self.capacity:
+            samples.append((cycle, value))
+        else:
+            samples[self._start] = (cycle, value)
+            self._start = (self._start + 1) % self.capacity
+
+    @property
+    def samples(self) -> List[Tuple[int, float]]:
+        """The retained samples, oldest first."""
+        return self._samples[self._start:] + self._samples[:self._start]
+
+    @property
+    def last(self) -> Optional[Tuple[int, float]]:
+        """Most recent ``(cycle, value)``, or None when empty."""
+        if not self._samples:
+            return None
+        return self._samples[(self._start - 1) % len(self._samples)]
+
+    def mean(self) -> float:
+        """Mean of the retained values (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(v for _, v in self._samples) / len(self._samples)
+
+    def maximum(self) -> float:
+        """Max of the retained values (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return max(v for _, v in self._samples)
+
+    def total(self) -> float:
+        """Sum of the retained values (useful for delta-series gauges)."""
+        return sum(v for _, v in self._samples)
+
+
+class Histogram:
+    """A fixed-edge histogram of observed values.
+
+    ``edges`` are the *upper* bounds of the finite bins; one overflow bin
+    catches everything beyond the last edge.  ``counts[i]`` tallies values
+    ``v`` with ``edges[i-1] < v <= edges[i]``.
+    """
+
+    __slots__ = ("edges", "counts", "observations", "total", "minimum",
+                 "maximum")
+
+    def __init__(self, edges: Iterable[float] = LATENCY_BINS) -> None:
+        self.edges = tuple(sorted(edges))
+        if not self.edges:
+            raise ConfigurationError("histogram needs at least one edge")
+        self.counts = [0] * (len(self.edges) + 1)
+        self.observations = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Count one observation into its bin."""
+        self.counts[self._bin(value)] += 1
+        self.observations += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum,
+                                                              value)
+        self.maximum = value if self.maximum is None else max(self.maximum,
+                                                              value)
+
+    def _bin(self, value: float) -> int:
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                return index
+        return len(self.edges)
+
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        if not self.observations:
+            return 0.0
+        return self.total / self.observations
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary of this histogram."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "observations": self.observations,
+            "mean": self.mean(),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Named, component-keyed families of counters, gauges, histograms.
+
+    Metric accessors create on first touch, so observers never pre-declare
+    families; consumers iterate :meth:`family` /  :meth:`families`.
+    """
+
+    def __init__(self, gauge_capacity: int = 4096) -> None:
+        self.gauge_capacity = gauge_capacity
+        self._counters: Dict[str, Dict[object, Counter]] = {}
+        self._gauges: Dict[str, Dict[object, Gauge]] = {}
+        self._histograms: Dict[str, Dict[object, Histogram]] = {}
+
+    # -- accessors (create on first touch) -----------------------------
+    def counter(self, family: str, key: object = None) -> Counter:
+        """The counter of ``family`` for one component key."""
+        return self._counters.setdefault(family, {}).setdefault(
+            key, Counter())
+
+    def gauge(self, family: str, key: object = None) -> Gauge:
+        """The gauge series of ``family`` for one component key."""
+        table = self._gauges.setdefault(family, {})
+        gauge = table.get(key)
+        if gauge is None:
+            gauge = table[key] = Gauge(self.gauge_capacity)
+        return gauge
+
+    def histogram(self, family: str, key: object = None,
+                  edges: Iterable[float] = LATENCY_BINS) -> Histogram:
+        """The histogram of ``family`` for one component key."""
+        table = self._histograms.setdefault(family, {})
+        histogram = table.get(key)
+        if histogram is None:
+            histogram = table[key] = Histogram(edges)
+        return histogram
+
+    # -- iteration ------------------------------------------------------
+    def family(self, kind: str, family: str) -> Dict[object, object]:
+        """All ``key -> metric`` of one family (empty dict when absent)."""
+        store = self._store(kind)
+        return dict(store.get(family, {}))
+
+    def families(self, kind: str) -> List[str]:
+        """Sorted family names of one metric kind."""
+        return sorted(self._store(kind))
+
+    def _store(self, kind: str) -> Dict[str, Dict[object, object]]:
+        try:
+            return {"counter": self._counters, "gauge": self._gauges,
+                    "histogram": self._histograms}[kind]
+        except KeyError:
+            raise ConfigurationError(
+                "unknown metric kind",
+                kind=kind, known=["counter", "gauge", "histogram"],
+            ) from None
+
+    # -- summaries ------------------------------------------------------
+    def counter_totals(self) -> Dict[str, int]:
+        """``family -> summed value`` across keys (deterministic order)."""
+        return {
+            family: sum(c.value for c in table.values())
+            for family, table in sorted(self._counters.items())
+        }
+
+    def top_gauges(self, family: str, k: int,
+                   reducer: str = "total") -> List[Tuple[object, float]]:
+        """The ``k`` hottest keys of a gauge family by a reducer.
+
+        Reducers: ``"total"`` (sum of samples — right for delta series),
+        ``"mean"``, ``"max"``.  Ties break on the key's repr so the order
+        is deterministic.
+        """
+        if reducer not in ("total", "mean", "max"):
+            raise ConfigurationError("unknown gauge reducer",
+                                     reducer=reducer)
+        table = self._gauges.get(family, {})
+        scored = []
+        for key, gauge in table.items():
+            value = {"total": gauge.total, "mean": gauge.mean,
+                     "max": gauge.maximum}[reducer]()
+            scored.append((key, value))
+        scored.sort(key=lambda item: (-item[1], repr(item[0])))
+        return scored[:k]

@@ -1,0 +1,13 @@
+"""CLI entry point for Chrome-trace validation.
+
+``python -m repro.telemetry.validate <trace.json> [...]`` — exits 0 when
+every file is a structurally valid ``repro.chrome-trace/v1`` document
+(:func:`repro.telemetry.export.validate_chrome_trace`), 1 otherwise.
+Lives outside :mod:`repro.telemetry.export` so ``-m`` execution does not
+re-import a module the package ``__init__`` already loaded.
+"""
+
+from repro.telemetry.export import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,18 @@
 """Golden-trace scenarios and fixture regeneration.
 
-Two pinned scenarios anchor the behavioural regression suite:
+Three pinned scenarios anchor the behavioural regression suite:
 
 * ``mesh4_xy_spin``   — 4x4 mesh, XY (dimension-order) routing with the
   SPIN control plane at an aggressively low ``tDD``.  XY on a mesh is
   deadlock-free, so every detection is a congestion false positive — the
   trace pins the *full* SPIN machinery (counters, probes, priority) on a
   substrate whose correct behaviour is known.
+* ``mesh4_square_deadlock`` — 4x4 mesh, minimal adaptive routing + SPIN,
+  a planted 4-packet square deadlock (paper Fig. 2) and *no* traffic
+  source: pins one complete detection→probe→move→spin recovery and is the
+  reference scenario for telemetry span reconstruction
+  (tests/integration/test_telemetry_spans.py, ``repro-sim trace
+  --scenario``).
 * ``torus4_bubble``   — 4x4 torus under bubble flow control (localized
   avoidance), pinning the wraparound datapath and the bubble condition.
 
@@ -53,7 +59,8 @@ class GoldenScenario:
         """
         network, traffic = self.builder()
         simulator = Simulator()
-        simulator.register(traffic)
+        if traffic is not None:
+            simulator.register(traffic)
         simulator.register(network)
         oracle = None
         if with_oracle:
@@ -104,6 +111,58 @@ def _build_torus4_bubble() -> Tuple[Network, object]:
     return network, traffic
 
 
+def _plant_packet(network: Network, router_id: int, inport: int,
+                  dst_router: int, length: int = 1) -> None:
+    """Place a fully-arrived packet directly into a router input VC.
+
+    Mirrors the test-suite deadlock-crafting helper (tests/conftest.py) but
+    lives here so fixture regeneration and ``repro-sim trace --scenario``
+    need nothing from the test tree.
+    """
+    from repro.network.packet import Packet
+
+    packet = Packet(src_node=router_id, dst_node=dst_router,
+                    src_router=router_id, dst_router=dst_router,
+                    length=length, create_cycle=0)
+    packet.inject_cycle = 0
+    router = network.routers[router_id]
+    vc = router.inports[inport][0]
+    vc.free_at = min(vc.free_at, 0)
+    vc.reserve(packet, now=0, link_latency=0, router_latency=0)
+    vc.head_arrival = 0
+    vc.ready_at = 0
+    vc.tail_arrival = 0
+    network.note_vc_reserved(router)
+    network.stats.record_creation(packet, 0)
+
+
+def _build_mesh4_square_deadlock() -> Tuple[Network, object]:
+    from repro.routing.adaptive import MinimalAdaptiveRouting
+    from repro.topology.mesh import EAST, NORTH, SOUTH, WEST
+
+    params = SCENARIOS["mesh4_square_deadlock"].params
+    network = Network(
+        topology=MeshTopology(4, 4),
+        config=NetworkConfig(vcs_per_vnet=1),
+        routing=MinimalAdaptiveRouting(params["seed"]),
+        spin=SpinParams(tdd=params["tdd"]),
+        seed=params["seed"],
+    )
+    at = network.topology.router_at
+    plan = [
+        # (router, inport holding the packet, destination 2 hops ahead):
+        # each packet's unique minimal port is the next clockwise edge of
+        # the (1,1)-(2,2) square — paper Fig. 2's cyclic dependency.
+        (at(1, 1), SOUTH, at(3, 1)),   # wants EAST
+        (at(2, 1), WEST, at(2, 3)),    # wants SOUTH
+        (at(2, 2), NORTH, at(0, 2)),   # wants WEST
+        (at(1, 2), EAST, at(1, 0)),    # wants NORTH
+    ]
+    for router, inport, dst in plan:
+        _plant_packet(network, router, inport, dst)
+    return network, None
+
+
 SCENARIOS: Dict[str, GoldenScenario] = {}
 
 
@@ -122,6 +181,16 @@ _register(
     params={"topology": "mesh4x4", "routing": "xy", "tdd": 12,
             "rate": 0.80, "seed": 7, "traffic_cycles": 500},
     builder=_build_mesh4_xy_spin,
+)
+_register(
+    "mesh4_square_deadlock",
+    "4x4 mesh, minimal adaptive routing + SPIN (tdd=8), a planted 4-packet "
+    "square deadlock and no traffic source: pins one complete "
+    "detection->probe->move->spin recovery, the telemetry span fixture",
+    cycles=300,
+    params={"topology": "mesh4x4", "routing": "minadaptive", "tdd": 8,
+            "rate": 0.0, "seed": 5, "traffic_cycles": 0},
+    builder=_build_mesh4_square_deadlock,
 )
 _register(
     "torus4_bubble",

@@ -29,12 +29,31 @@ class TestLatencySummary:
         assert summary.mean == 0.0
 
     def test_percentiles(self):
+        # Nearest-rank: ordered[ceil(f * n) - 1]; at n=100 the p50 is the
+        # 50th value, not the 51st (the old int() truncation's off-by-one).
         summary = LatencySummary.from_samples(list(range(1, 101)))
         assert summary.count == 100
         assert summary.mean == pytest.approx(50.5)
-        assert summary.p50 == 51
-        assert summary.p99 == 100
+        assert summary.p50 == 50
+        assert summary.p95 == 95
+        assert summary.p99 == 99
         assert summary.maximum == 100
+
+    def test_percentiles_nearest_rank_small_counts(self):
+        # Regression for the int(fraction * count) off-by-one: small
+        # samples must follow the nearest-rank rule exactly.
+        assert LatencySummary.from_samples([7]).p50 == 7
+        assert LatencySummary.from_samples([7]).p99 == 7
+        two = LatencySummary.from_samples([1, 9])
+        assert two.p50 == 1      # ceil(0.5 * 2) - 1 = index 0
+        assert two.p99 == 9      # ceil(0.99 * 2) - 1 = index 1
+        four = LatencySummary.from_samples([10, 20, 30, 40])
+        assert four.p50 == 20    # ceil(2.0) - 1 = index 1 (old code: 30)
+        assert four.p95 == 40
+        ten = LatencySummary.from_samples(list(range(1, 11)))
+        assert ten.p50 == 5      # old code read index 5 -> 6
+        assert ten.p95 == 10
+        assert ten.p99 == 10
 
 
 class TestNetworkStats:

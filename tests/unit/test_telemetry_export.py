@@ -1,0 +1,179 @@
+"""Unit tests for telemetry exporters, validation, and trace reports."""
+
+import json
+
+import pytest
+
+from repro.config import SpinParams, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.telemetry import (
+    CHROME_FORMAT,
+    JSONL_FORMAT,
+    TelemetryConfig,
+    TelemetryObserver,
+    TraceReport,
+    build_records,
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.export import main as validate_main
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import craft_square_deadlock, make_mesh_network
+
+
+@pytest.fixture(scope="module")
+def records():
+    """One deadlock-recovery run serialized to records."""
+    network = make_mesh_network(spin=SpinParams(tdd=8))
+    craft_square_deadlock(network)
+    simulator = Simulator()
+    simulator.register(network)
+    observer = TelemetryObserver(
+        network,
+        TelemetryConfig(sample_interval=16, packet_traces=True),
+    ).attach(simulator)
+    simulator.run(300)
+    observer.finalize(simulator.cycle)
+    return build_records(observer, {"design": "test", "topology": "mesh",
+                                    "mesh_side": 4, "cycles": 300,
+                                    "seed": 1})
+
+
+class TestJsonl:
+    def test_record_order(self, records):
+        assert records[0]["type"] == "header"
+        assert records[0]["format"] == JSONL_FORMAT
+        assert records[-1]["type"] == "summary"
+        kinds = {record["type"] for record in records}
+        assert {"header", "sample", "span", "summary"} <= kinds
+
+    def test_summary_counts(self, records):
+        summary = records[-1]
+        assert summary["samples"] == sum(
+            1 for r in records if r["type"] == "sample")
+        assert summary["spans"] == sum(
+            1 for r in records if r["type"] == "span")
+        assert "telemetry_spans" not in summary["counters"]  # registry only
+        assert "detection_latency" in summary["histograms"]
+
+    def test_write_read_roundtrip(self, records, tmp_path):
+        path = tmp_path / "run.jsonl"
+        count = write_jsonl(str(path), records)
+        assert count == len(records)
+        loaded = read_jsonl(str(path))
+        assert loaded == json.loads(
+            json.dumps(records))  # JSON-safe and identical
+
+    def test_read_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"sample","cycle":0}\n')
+        with pytest.raises(ConfigurationError):
+            read_jsonl(str(path))
+
+    def test_read_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"header","format":"other/v9"}\n')
+        with pytest.raises(ConfigurationError):
+            read_jsonl(str(path))
+
+    def test_read_rejects_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"header","format":"%s"}\nnot json\n'
+                        % JSONL_FORMAT)
+        with pytest.raises(ConfigurationError):
+            read_jsonl(str(path))
+
+
+class TestChromeTrace:
+    def test_valid_and_self_describing(self, records):
+        trace = chrome_trace(records)
+        assert validate_chrome_trace(trace) == []
+        assert trace["metadata"]["format"] == CHROME_FORMAT
+        assert trace["metadata"]["design"] == "test"
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert {"M", "X", "C", "i"} <= phases
+
+    def test_span_slices_carry_cycle_bounds(self, records):
+        trace = chrome_trace(records)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(slices) == len(spans)
+        for event in slices:
+            assert event["dur"] >= 0
+            assert event["tid"] == event["args"]["router"] + 1
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": {}}) != []
+        base = {"metadata": {"format": CHROME_FORMAT}}
+        bad_events = [
+            {"ph": "Z", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+            {"ph": "X", "name": "", "pid": 0, "tid": 0, "ts": 0, "dur": 1},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": -1, "dur": 1},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+            {"ph": "C", "name": "x", "pid": "0", "tid": 0, "ts": 0},
+            {"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": 0, "s": "q"},
+            {"ph": "C", "name": "x", "pid": 0, "tid": 0, "ts": 0,
+             "args": 3},
+            "not an event",
+        ]
+        for event in bad_events:
+            trace = dict(base, traceEvents=[event])
+            assert validate_chrome_trace(trace) != [], event
+
+    def test_validator_main(self, records, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(chrome_trace(records)))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": 3}')
+        assert validate_main([str(good)]) == 0
+        assert validate_main([str(bad)]) == 1
+        assert validate_main([str(tmp_path / "absent.json")]) == 1
+        assert validate_main([]) == 2
+
+
+class TestTraceReport:
+    def test_report_views(self, records):
+        report = TraceReport(records)
+        assert len(report.episodes) >= 1
+        recovered = [s for s in report.episodes
+                     if s.outcome == "recovered"]
+        assert len(recovered) == 1
+        assert report.total_spins() == 1
+        assert report.outcome_counts()["recovered"] == 1
+        assert report.detection_latencies().count == len(report.episodes)
+        assert report.detection_latencies().mean > 0
+
+    def test_wedge_timeline_covers_deadlock(self, records):
+        report = TraceReport(records)
+        wedges = report.wedge_timeline()
+        assert wedges, "a planted deadlock must show zero progress"
+        start, end = wedges[0]
+        assert 0 < start < end
+
+    def test_heatmap_is_mesh_shaped(self, records):
+        report = TraceReport(records)
+        rows = report.heatmap().splitlines()
+        assert len(rows) == 4
+        assert all(len(row) == 4 for row in rows)
+
+    def test_render_mentions_spans_and_links(self, records):
+        text = TraceReport(records).render()
+        assert "SPIN episodes" in text
+        assert "recovered" in text
+        assert "detection latency" in text
+        assert "occupancy heatmap" in text
+
+    def test_load_roundtrip(self, records, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(str(path), records)
+        report = TraceReport.load(str(path))
+        assert len(report.spans) == sum(
+            1 for r in records if r["type"] == "span")
+        assert report.hop_count == sum(
+            1 for r in records if r["type"] in ("hop", "deliver"))

@@ -1,0 +1,140 @@
+"""Unit tests for the telemetry metrics registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_records_in_order(self):
+        gauge = Gauge(capacity=8)
+        for cycle in range(5):
+            gauge.record(cycle, cycle * 10)
+        assert gauge.samples == [(c, c * 10) for c in range(5)]
+        assert gauge.last == (4, 40)
+
+    def test_ring_keeps_most_recent(self):
+        gauge = Gauge(capacity=3)
+        for cycle in range(7):
+            gauge.record(cycle, float(cycle))
+        assert gauge.samples == [(4, 4.0), (5, 5.0), (6, 6.0)]
+        assert gauge.last == (6, 6.0)
+
+    def test_reducers(self):
+        gauge = Gauge(capacity=4)
+        for cycle, value in enumerate((1.0, 3.0, 5.0)):
+            gauge.record(cycle, value)
+        assert gauge.mean() == pytest.approx(3.0)
+        assert gauge.maximum() == 5.0
+        assert gauge.total() == 9.0
+
+    def test_empty(self):
+        gauge = Gauge()
+        assert gauge.samples == []
+        assert gauge.last is None
+        assert gauge.mean() == 0.0
+        assert gauge.maximum() == 0.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Gauge(capacity=0)
+
+
+class TestHistogram:
+    def test_binning_and_overflow(self):
+        histogram = Histogram(edges=(10, 20))
+        for value in (5, 10, 11, 25, 100):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 2]  # <=10, <=20, overflow
+        assert histogram.observations == 5
+        assert histogram.minimum == 5
+        assert histogram.maximum == 100
+        assert histogram.mean() == pytest.approx((5 + 10 + 11 + 25 + 100) / 5)
+
+    def test_to_dict_roundtrip_fields(self):
+        histogram = Histogram(edges=(1, 2))
+        histogram.observe(1)
+        data = histogram.to_dict()
+        assert data["edges"] == [1, 2]
+        assert data["counts"] == [1, 0, 0]
+        assert data["observations"] == 1
+
+    def test_empty_mean(self):
+        assert Histogram(edges=(1,)).mean() == 0.0
+
+    def test_needs_edges(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(edges=())
+
+
+class TestMetricsRegistry:
+    def test_create_on_touch_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", 1) is registry.counter("a", 1)
+        assert registry.gauge("g", (0, 1)) is registry.gauge("g", (0, 1))
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.counter("a", 1) is not registry.counter("a", 2)
+
+    def test_family_iteration(self):
+        registry = MetricsRegistry()
+        registry.counter("stalls", 3).inc(2)
+        registry.counter("stalls", 1).inc(1)
+        family = registry.family("counter", "stalls")
+        assert set(family) == {1, 3}
+        assert registry.families("counter") == ["stalls"]
+        assert registry.family("gauge", "absent") == {}
+
+    def test_counter_totals(self):
+        registry = MetricsRegistry()
+        registry.counter("stalls", 0).inc(2)
+        registry.counter("stalls", 1).inc(3)
+        registry.counter("drops").inc(1)
+        assert registry.counter_totals() == {"drops": 1, "stalls": 5}
+
+    def test_top_gauges_deterministic(self):
+        registry = MetricsRegistry()
+        registry.gauge("flits", (0, 1)).record(0, 5)
+        registry.gauge("flits", (2, 3)).record(0, 5)
+        registry.gauge("flits", (1, 0)).record(0, 9)
+        top = registry.top_gauges("flits", 2)
+        assert top[0] == ((1, 0), 9.0)
+        assert top[1][0] == (0, 1)  # repr tie-break
+
+    def test_top_gauges_reducers(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "x")
+        gauge.record(0, 2)
+        gauge.record(1, 4)
+        assert registry.top_gauges("g", 1, reducer="mean")[0][1] == 3.0
+        assert registry.top_gauges("g", 1, reducer="max")[0][1] == 4.0
+        with pytest.raises(ConfigurationError):
+            registry.top_gauges("g", 1, reducer="median")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().families("meter")
+
+    def test_gauge_capacity_propagates(self):
+        registry = MetricsRegistry(gauge_capacity=2)
+        gauge = registry.gauge("g")
+        for cycle in range(5):
+            gauge.record(cycle, cycle)
+        assert len(gauge.samples) == 2
