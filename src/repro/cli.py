@@ -15,6 +15,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -22,7 +23,7 @@ from repro.config import SimulationConfig
 from repro.errors import ConfigurationError, ReproError
 from repro.faults import parse_fault_spec
 from repro.harness.configs import ALL_DESIGNS, get_design, resolve_design_name
-from repro.harness.runner import latency_curve, run_design
+from repro.harness.runner import run_design
 from repro.harness.tables import format_table
 from repro.verify.differential import DEFAULT_TRIAD, run_conformance
 from repro.power.model import AreaModel, EnergyModel, RouterSpec
@@ -79,6 +80,17 @@ def _validate_run_args(args) -> None:
                                  fault_seed=args.fault_seed)
     if getattr(args, "jobs", 1) < 1:
         raise ConfigurationError("--jobs must be >= 1", jobs=args.jobs)
+    if getattr(args, "retries", 0) < 0:
+        raise ConfigurationError("--retries must be >= 0",
+                                 retries=args.retries)
+    max_failures = getattr(args, "max_failures", None)
+    if max_failures is not None and max_failures < 0:
+        raise ConfigurationError("--max-failures must be >= 0",
+                                 max_failures=max_failures)
+    hang_timeout = getattr(args, "hang_timeout", None)
+    if hang_timeout is not None and hang_timeout <= 0:
+        raise ConfigurationError("--hang-timeout must be positive",
+                                 hang_timeout=hang_timeout)
     if args.faults:
         parse_fault_spec(args.faults)  # raises FaultInjectionError on typos
 
@@ -170,42 +182,147 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def _sweep_campaign_inputs(args):
+    """Resolve the sweep's specs, meta and campaign directory.
+
+    Three shapes: ``--resume DIR`` rebuilds everything from the campaign
+    manifest; ``--campaign DIR`` journals a (possibly pre-existing,
+    matching) campaign; neither runs ephemerally.  Returns
+    ``(specs, meta, campaign_dir, output, title)``.
+    """
+    from repro.harness.campaign import load_manifest, write_manifest
+    from repro.harness.runner import ExperimentSpec
+
+    if args.resume and args.campaign:
+        raise ConfigurationError(
+            "--resume and --campaign are mutually exclusive")
+    if args.resume:
+        if args.design or args.rates:
+            raise ConfigurationError(
+                "--resume reconstructs the sweep from the manifest; "
+                "drop --design/--rates", resume=args.resume)
+        specs, meta, settings = load_manifest(args.resume)
+        output = args.output or settings.get("output")
+        title = f"{meta.get('design')} / {meta.get('pattern')} (resumed)"
+        return specs, meta, args.resume, output, title
+    if not args.design or not args.rates:
+        raise ConfigurationError(
+            "sweep needs --design and --rates (or --resume DIR)")
     get_design(args.design)  # fail fast with the full list on a typo
     _validate_run_args(args)
     rates = [float(x) for x in args.rates.split(",")]
-    dragonfly = _parse_dragonfly(args.dragonfly)
-    points, saturation = latency_curve(
-        args.design, args.pattern, rates, _sim_config(args), seed=args.seed,
-        mesh_side=args.mesh_side, dragonfly=dragonfly, tdd=args.tdd,
-        faults=args.faults, fault_seed=args.fault_seed, jobs=args.jobs,
-        verify=args.verify, telemetry=args.telemetry)
+    base = ExperimentSpec(
+        design=args.design, pattern=args.pattern, injection_rate=rates[0],
+        seed=args.seed, mesh_side=args.mesh_side,
+        dragonfly=_parse_dragonfly(args.dragonfly), tdd=args.tdd,
+        faults=args.faults, fault_seed=args.fault_seed,
+        sim=_sim_config(args), verify=args.verify,
+        telemetry=args.telemetry)
+    specs = base.curve(rates)
+    # The meta block is deliberately deterministic (no timestamps, no
+    # worker count), so the same sweep writes byte-identical files
+    # regardless of --jobs — and regardless of interruptions + resumes.
+    meta = {
+        "design": resolve_design_name(args.design),
+        "pattern": args.pattern,
+        "seed": args.seed,
+        "rates": rates,
+        "faults": base.faults,
+        "fault_seed": args.fault_seed,
+    }
+    if args.campaign:
+        from pathlib import Path
+
+        manifest = Path(args.campaign) / "manifest.json"
+        if manifest.exists():
+            stored, stored_meta, _ = load_manifest(args.campaign)
+            if [s.content_key() for s in stored] != \
+                    [s.content_key() for s in specs]:
+                raise ConfigurationError(
+                    "campaign directory belongs to a different sweep; "
+                    "use --resume or a fresh directory",
+                    campaign=args.campaign)
+            meta = stored_meta
+        else:
+            write_manifest(args.campaign, specs, meta,
+                           settings={"output": args.output})
+    return specs, meta, args.campaign, args.output, \
+        f"{args.design} / {args.pattern}"
+
+
+def _print_failure_summary(failed) -> None:
+    """Per-error-class failure table (satellite of docs/CAMPAIGNS.md)."""
+    from repro.harness.supervision import error_class
+
+    classes = {}
+    for result in failed:
+        label = error_class(result.error)
+        count, example = classes.get(label, (0, None))
+        classes[label] = (count + 1, example or result.spec)
+    rows = [
+        [label, count,
+         f"{example.design} @ {example.injection_rate}"]
+        for label, (count, example) in sorted(classes.items())
+    ]
+    print(format_table(
+        ["Error class", "Points", "First failing spec"],
+        rows, title=f"{len(failed)} point(s) failed"))
+
+
+def cmd_sweep(args) -> int:
+    """Run (or resume) a sweep; see docs/CAMPAIGNS.md for exit codes.
+
+    0 success · 1 some points failed · 3 failure budget exhausted ·
+    128+signum when draining on SIGINT/SIGTERM (the journal stays
+    resumable) · 2 configuration errors (via the ReproError handler).
+    """
+    from repro.harness.campaign import CampaignConfig, CampaignEngine
+    from repro.harness.supervision import RetryPolicy
+
+    specs, meta, campaign_dir, output, title = _sweep_campaign_inputs(args)
+    engine = CampaignEngine(
+        specs, directory=campaign_dir,
+        config=CampaignConfig(
+            jobs=args.jobs,
+            retry=RetryPolicy(retries=args.retries),
+            max_failures=args.max_failures,
+            hang_timeout=args.hang_timeout))
+    report = engine.run()
     rows = [
         [p.injection_rate, round(p.mean_latency, 1), round(p.throughput, 4),
          round(p.delivery_ratio, 3), p.wedged, p.events.get("spins", 0)]
-        for p in points
+        for p in report.points
     ]
     print(format_table(
         ["Rate", "Mean latency", "Throughput", "Delivered", "Wedged",
          "Spins"],
-        rows, title=f"{args.design} / {args.pattern}"))
-    print(f"\nsaturation rate: {saturation}")
-    if args.output:
-        # The meta block is deliberately deterministic (no timestamps, no
-        # worker count), so the same sweep writes byte-identical files
-        # regardless of --jobs.
-        meta = {
-            "design": resolve_design_name(args.design),
-            "pattern": args.pattern,
-            "seed": args.seed,
-            "rates": rates,
-            "saturation_rate": saturation,
-            "faults": args.faults,
-            "fault_seed": args.fault_seed,
-        }
-        path = save_results(args.output, points, meta)
-        print(f"wrote {len(points)} points to {path}")
-    return 0
+        rows, title=title))
+    print(f"\nsaturation rate: {report.saturation_rate}")
+    if campaign_dir and report.counters:
+        tallies = " ".join(f"{name}={value}" for name, value
+                           in sorted(report.counters.items()))
+        print(f"campaign: {tallies}")
+    if report.failed:
+        _print_failure_summary(report.failed)
+    if not report.completed and not report.clean:
+        if report.status.startswith("interrupted:"):
+            signame = report.status.split(":", 1)[1]
+            print(f"campaign drained on {signame}; resume with: "
+                  f"python -m repro.cli sweep --resume {campaign_dir}"
+                  if campaign_dir else
+                  f"sweep interrupted by {signame} (no campaign journal "
+                  f"to resume; rerun with --campaign DIR)")
+            signum = getattr(signal, signame, None)
+            return 128 + int(signum) if signum is not None else 1
+        print("campaign aborted: failure budget exhausted "
+              f"(--max-failures {args.max_failures})")
+        return 3
+    if output and report.clean:
+        meta = dict(meta)
+        meta["saturation_rate"] = report.saturation_rate
+        path = save_results(output, report.points, meta)
+        print(f"wrote {len(report.points)} points to {path}")
+    return 1 if report.failed else 0
 
 
 def cmd_verify(args) -> int:
@@ -387,16 +504,44 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--rate", type=float, required=True,
                             help="offered load in flits/node/cycle")
 
-    sweep_parser = sub.add_parser("sweep", help="latency-vs-injection sweep")
-    _add_run_args(sweep_parser)
-    sweep_parser.add_argument("--rates", required=True,
-                              help="comma-separated offered loads")
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="latency-vs-injection sweep (crash-safe with --campaign; "
+        "see docs/CAMPAIGNS.md)")
+    _add_run_args(sweep_parser, design_required=False)
+    sweep_parser.add_argument("--rates", default=None,
+                              help="comma-separated offered loads "
+                              "(required unless --resume)")
     sweep_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                               help="worker processes (1 = serial; results "
                               "are identical either way)")
     sweep_parser.add_argument("--output", default=None, metavar="FILE.json",
                               help="write the points as a "
                               "repro.sweep-results/v1 JSON file")
+    sweep_parser.add_argument("--campaign", default=None, metavar="DIR",
+                              help="journal completed points durably into "
+                              "DIR (repro.campaign/v1) so an interrupted "
+                              "sweep can be resumed")
+    sweep_parser.add_argument("--resume", default=None, metavar="DIR",
+                              help="resume the campaign journaled in DIR; "
+                              "already-completed points are skipped and "
+                              "the final artifact is byte-identical to an "
+                              "uninterrupted run")
+    sweep_parser.add_argument("--retries", type=int, default=2, metavar="N",
+                              help="bounded retries for transient worker "
+                              "failures (crash/hang/timeout), with "
+                              "deterministic exponential backoff "
+                              "(default: %(default)s)")
+    sweep_parser.add_argument("--max-failures", type=int, default=None,
+                              metavar="N",
+                              help="abort the campaign (exit 3) once more "
+                              "than N points have permanently failed "
+                              "(default: unlimited)")
+    sweep_parser.add_argument("--hang-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="kill and respawn a worker whose point "
+                              "exceeds this wall-clock budget (counts as "
+                              "a transient failure; default: off)")
 
     verify_parser = sub.add_parser(
         "verify",

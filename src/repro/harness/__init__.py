@@ -8,6 +8,14 @@ from repro.harness.configs import (
     resolve_design_name,
     build_network,
 )
+from repro.harness.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignJournal,
+    CampaignReport,
+    load_manifest,
+    write_manifest,
+)
 from repro.harness.parallel import ParallelRunner, SpecResult
 from repro.harness.runner import (
     ExperimentSpec,
@@ -15,10 +23,24 @@ from repro.harness.runner import (
     run_design,
     spec_grid,
 )
+from repro.harness.supervision import (
+    RetryPolicy,
+    SupervisedPool,
+    classify_failure,
+)
 from repro.harness.tables import format_table
 from repro.harness.theories import TABLE_I, TheoryRow
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignJournal",
+    "CampaignReport",
+    "RetryPolicy",
+    "SupervisedPool",
+    "classify_failure",
+    "load_manifest",
+    "write_manifest",
     "DesignConfig",
     "MESH_DESIGNS",
     "DRAGONFLY_DESIGNS",

@@ -1,0 +1,567 @@
+"""Crash-safe sweep campaigns: durable journal, resume, failure budgets.
+
+A *campaign* is a sweep that survives anything short of losing the disk.
+The engine wraps spec execution in a durable, content-addressed journal:
+
+* ``manifest.json`` — the campaign header, written atomically once: the
+  schema tag, the artifact metadata, and every spec (with its
+  :meth:`~repro.harness.runner.ExperimentSpec.content_key`) in order.  A
+  resume reconstructs the whole campaign from this file alone.
+* ``journal.jsonl`` — append-only completions, one fsync'd JSON record per
+  finished point keyed by spec content hash.  A crash can tear at most the
+  final record, and the loader tolerates exactly that (a torn *interior*
+  record means real corruption and fails loudly).
+
+Because each point is a deterministic seeded simulation, a resumed
+campaign that skips journaled points and re-runs the rest produces a
+results artifact **byte-identical** to an uninterrupted run — the
+recovery path is proven by differential byte-identity (chaos suite,
+``pytest -m chaos``), not assumed.
+
+On top of durability the engine supervises its workers
+(:mod:`repro.harness.supervision`): hung-worker detection and respawn,
+transient-vs-deterministic failure classification, bounded
+exponential-backoff retries with deterministic jitter, a per-campaign
+failure budget, and graceful SIGINT/SIGTERM draining that always leaves a
+valid resumable journal.  See docs/CAMPAIGNS.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.harness.parallel import SpecResult
+from repro.harness.runner import ExperimentSpec
+from repro.harness.supervision import (
+    TRANSIENT,
+    RetryPolicy,
+    SupervisedPool,
+    classify_failure,
+    run_attempt,
+)
+from repro.stats.results import atomic_write_text
+from repro.stats.sweep import (
+    SaturationCursor,
+    SweepPoint,
+    curve_saturation_rate,
+)
+
+#: Version tag of the campaign directory layout.
+CAMPAIGN_SCHEMA = "repro.campaign/v1"
+
+#: File names inside a campaign directory.
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+
+_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+class CampaignJournal:
+    """The append-only, fsync'd record of completed campaign points.
+
+    Every :meth:`append` is flushed and fsync'd before returning, so a
+    record either survives whole or (for the one being written at the
+    instant of death) is torn at the tail — the only corruption
+    :meth:`load` forgives.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self._handle = None
+
+    # -- writing -------------------------------------------------------
+    def open(self) -> "CampaignJournal":
+        """Open for appending (creating the directory if needed)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        if self._handle is None:
+            raise ConfigurationError("journal is not open for appending")
+        self._handle.write(json.dumps(record, **_COMPACT) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> Tuple[List[Dict[str, object]], int]:
+        """Read back all intact records; returns ``(records, torn)``.
+
+        ``torn`` counts trailing records dropped because they were cut
+        mid-write (0 or 1 by construction).  A malformed record anywhere
+        *before* the tail is genuine corruption and raises.
+        """
+        if not self.path.exists():
+            return [], 0
+        raw = self.path.read_text(encoding="utf-8", errors="replace")
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records: List[Dict[str, object]] = []
+        for index, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "key" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError:
+                if index == len(lines) - 1:
+                    return records, 1  # torn tail: the crash we survive
+                raise ConfigurationError(
+                    "campaign journal is corrupt before its tail",
+                    path=str(self.path), line=index + 1) from None
+            records.append(record)
+        return records, 0
+
+
+def ok_record(key: str, attempt: int, result: SpecResult
+              ) -> Dict[str, object]:
+    """Journal record for a completed point."""
+    return {"key": key, "attempt": attempt, "status": "ok",
+            "point": result.point.to_dict(),
+            "wall_time": result.wall_time}
+
+def failed_record(key: str, attempt: int, result: SpecResult
+                  ) -> Dict[str, object]:
+    """Journal record for a permanently failed point."""
+    return {"key": key, "attempt": attempt, "status": "failed",
+            "error": result.error,
+            "class": classify_failure(result.error)}
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def write_manifest(directory: Union[str, Path],
+                   specs: Sequence[ExperimentSpec],
+                   meta: Dict[str, object],
+                   settings: Optional[Dict[str, object]] = None) -> Path:
+    """Atomically write the campaign header.
+
+    The manifest is the single source of truth for a resume: schema tag,
+    artifact ``meta`` (reused verbatim when the artifact is finally
+    written, so resumed artifacts carry identical metadata), optional
+    ``settings`` (output path, latency cap), and the full ordered spec
+    list with content keys.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": CAMPAIGN_SCHEMA,
+        "meta": meta,
+        "settings": settings or {},
+        "specs": [{"key": spec.content_key(), "spec": spec.to_dict()}
+                  for spec in specs],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return atomic_write_text(directory / MANIFEST_NAME, text)
+
+
+def load_manifest(directory: Union[str, Path]
+                  ) -> Tuple[List[ExperimentSpec], Dict[str, object],
+                             Dict[str, object]]:
+    """Load and validate a manifest; returns ``(specs, meta, settings)``.
+
+    Every spec is revalidated through
+    :meth:`~repro.harness.runner.ExperimentSpec.from_dict` and its stored
+    content key cross-checked against the recomputed one, so silent
+    manifest corruption cannot mispair journal entries with specs.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        raise ConfigurationError("no campaign manifest found",
+                                 path=str(path))
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"campaign manifest is not valid JSON ({exc})",
+            path=str(path)) from None
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != CAMPAIGN_SCHEMA:
+        raise ConfigurationError("unsupported campaign schema",
+                                 got=payload.get("schema")
+                                 if isinstance(payload, dict) else None,
+                                 expected=CAMPAIGN_SCHEMA)
+    entries = payload.get("specs")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError("campaign manifest carries no specs",
+                                 path=str(path))
+    specs: List[ExperimentSpec] = []
+    for entry in entries:
+        spec = ExperimentSpec.from_dict(entry["spec"])
+        if spec.content_key() != entry.get("key"):
+            raise ConfigurationError(
+                "manifest spec key mismatch (corrupt manifest?)",
+                stored=entry.get("key"), computed=spec.content_key())
+        specs.append(spec)
+    meta = payload.get("meta") or {}
+    settings = payload.get("settings") or {}
+    if not isinstance(meta, dict) or not isinstance(settings, dict):
+        raise ConfigurationError("manifest meta/settings must be objects")
+    return specs, meta, settings
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignConfig:
+    """Execution policy for one campaign run."""
+
+    jobs: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    max_failures: Optional[int] = None
+    hang_timeout: Optional[float] = None
+    poll_interval: float = 0.05
+    latency_cap: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError("jobs must be >= 1", jobs=self.jobs)
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ConfigurationError("max_failures must be >= 0",
+                                     max_failures=self.max_failures)
+        if self.hang_timeout is not None and self.hang_timeout <= 0:
+            raise ConfigurationError("hang_timeout must be positive",
+                                     hang_timeout=self.hang_timeout)
+        if self.latency_cap <= 1.0:
+            raise ConfigurationError("latency_cap must exceed 1.0",
+                                     latency_cap=self.latency_cap)
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :meth:`CampaignEngine.run` invocation.
+
+    Attributes:
+        results: One ordered slot per spec; ``None`` for specs the
+            campaign never reached (drain or abort) — resumable later.
+        points: The saturation-cut curve prefix (artifact contents).
+        saturation_rate: Saturation of the cut curve.
+        status: ``"completed"``, ``"failure-budget"`` or
+            ``"interrupted:<SIGNAME>"``.
+        clean: True when every point up to the saturation cut succeeded —
+            the precondition for writing the results artifact.
+        counters: Durability telemetry (resumed points, retries, worker
+            respawns/hangs, failure classes, torn journal records).
+    """
+
+    results: List[Optional[SpecResult]]
+    points: List[SweepPoint]
+    saturation_rate: float
+    status: str
+    clean: bool
+    counters: Dict[str, int]
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def failed(self) -> List[SpecResult]:
+        """Permanently failed results, in spec order."""
+        return [r for r in self.results if r is not None and not r.ok]
+
+
+def assemble_curve(results: Sequence[Optional[SpecResult]],
+                   latency_cap: float = 4.0
+                   ) -> Tuple[List[SweepPoint], float, bool]:
+    """Cut an ordered result list into the serial-curve prefix.
+
+    Walks results in ascending-rate order through the same
+    :class:`~repro.stats.sweep.SaturationCursor` every sweep driver uses,
+    so the returned points are exactly what an uninterrupted serial sweep
+    reports.  Returns ``(points, saturation_rate, clean)`` where ``clean``
+    is False when a missing or failed point interrupted the prefix before
+    the saturation cut (no trustworthy artifact exists then).
+    """
+    cursor = SaturationCursor(latency_cap)
+    points: List[SweepPoint] = []
+    clean = True
+    for result in results:
+        if result is None or not result.ok:
+            clean = False
+            break
+        points.append(result.point)
+        if cursor.push(result.point):
+            break
+    return points, curve_saturation_rate(points, latency_cap), clean
+
+
+class CampaignEngine:
+    """Runs a spec list to completion, durably, under supervision.
+
+    Args:
+        specs: Ordered specs (ascending-rate curves for sweeps).
+        directory: Campaign directory for the durable journal; ``None``
+            runs ephemerally (same engine, no files) — the path plain
+            ``cli sweep`` uses.
+        config: Execution policy (:class:`CampaignConfig`).
+        registry: Optional :class:`~repro.telemetry.MetricsRegistry`; when
+            given, the engine's counters are mirrored into ``campaign_*``
+            counter families on completion
+            (:mod:`repro.telemetry.campaign`).
+    """
+
+    def __init__(self, specs: Sequence[ExperimentSpec],
+                 directory: Optional[Union[str, Path]] = None,
+                 config: Optional[CampaignConfig] = None,
+                 registry=None) -> None:
+        self.specs = list(specs)
+        if not self.specs:
+            raise ConfigurationError("campaign needs at least one spec")
+        self.keys = [spec.content_key() for spec in self.specs]
+        self.directory = Path(directory) if directory is not None else None
+        self.config = config or CampaignConfig()
+        self.registry = registry
+        self.counters: Dict[str, int] = {}
+        self._drain = False
+        self._signal: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignReport:
+        """Execute (or resume) the campaign; always leaves a valid journal."""
+        results: List[Optional[SpecResult]] = [None] * len(self.specs)
+        journal: Optional[CampaignJournal] = None
+        if self.directory is not None:
+            journal = CampaignJournal(self.directory)
+            self._replay(journal, results)
+            journal.open()
+        pending = [i for i, r in enumerate(results) if r is None]
+        self._drain = False
+        self._signal = None
+        previous = self._install_signal_handlers()
+        try:
+            if pending:
+                if self.config.jobs == 1:
+                    status = self._run_serial(pending, results, journal)
+                else:
+                    status = self._run_pool(pending, results, journal)
+            else:
+                status = "completed"
+        finally:
+            self._restore_signal_handlers(previous)
+            if journal is not None:
+                journal.close()
+        points, saturation, clean = assemble_curve(
+            results, self.config.latency_cap)
+        if self.registry is not None:
+            from repro.telemetry.campaign import record_campaign_counters
+
+            record_campaign_counters(self.registry, self.counters)
+        return CampaignReport(results=results, points=points,
+                              saturation_rate=saturation, status=status,
+                              clean=clean, counters=dict(self.counters))
+
+    # ------------------------------------------------------------------
+    # Journal replay (resume)
+    # ------------------------------------------------------------------
+    def _replay(self, journal: CampaignJournal,
+                results: List[Optional[SpecResult]]) -> None:
+        """Skip every point the journal already proves complete.
+
+        Only ``ok`` records are replayed: permanent failures are re-run on
+        resume, because resuming usually follows exactly the kind of chaos
+        (a dead machine, a broken pool) that caused them.
+        """
+        records, torn = journal.load()
+        if torn:
+            self._bump("journal_torn_records", torn)
+        completed: Dict[str, Dict[str, object]] = {}
+        for record in records:
+            if record.get("status") == "ok":
+                completed[record["key"]] = record
+        for index, key in enumerate(self.keys):
+            record = completed.get(key)
+            if record is None:
+                continue
+            point = SweepPoint.from_dict(record["point"])
+            results[index] = SpecResult(
+                self.specs[index], point,
+                wall_time=float(record.get("wall_time", 0.0)))
+            self._bump("points_resumed")
+
+    # ------------------------------------------------------------------
+    # Serial execution (jobs == 1)
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: List[int],
+                    results: List[Optional[SpecResult]],
+                    journal: Optional[CampaignJournal]) -> str:
+        failures = len([r for r in results if r is not None and not r.ok])
+        for index in pending:
+            if self._drain:
+                return self._interrupted()
+            spec, key = self.specs[index], self.keys[index]
+            attempt = 0
+            while True:
+                result = run_attempt(spec, attempt)
+                if result.ok:
+                    self._journal(journal, ok_record(key, attempt, result))
+                    results[index] = result
+                    break
+                if self._retryable(result, attempt):
+                    self._bump("retries")
+                    time.sleep(self.config.retry.delay(key, attempt))
+                    attempt += 1
+                    continue
+                self._journal(journal, failed_record(key, attempt, result))
+                results[index] = result
+                failures += 1
+                self._bump("failures_permanent")
+                if self._budget_exhausted(failures):
+                    return "failure-budget"
+                break
+        return self._interrupted() if self._drain else "completed"
+
+    # ------------------------------------------------------------------
+    # Supervised pool execution (jobs > 1)
+    # ------------------------------------------------------------------
+    def _run_pool(self, pending: List[int],
+                  results: List[Optional[SpecResult]],
+                  journal: Optional[CampaignJournal]) -> str:
+        config = self.config
+        pool = SupervisedPool(max_workers=config.jobs,
+                              hang_timeout=config.hang_timeout,
+                              poll_interval=config.poll_interval,
+                              counters=self.counters)
+        pool.start()
+        status = "completed"
+        failures = len([r for r in results if r is not None and not r.ok])
+        feed = deque(pending)           # never submitted yet
+        retry_heap: List[Tuple[float, int]] = []  # backoff-waiting retries
+        submitted: set = set()          # handed to the pool, result owed
+        attempts: Dict[int, int] = {}
+        # A small submission window keeps the shared task queue nearly
+        # empty, so draining or aborting stops promptly instead of letting
+        # workers chew through a deep backlog of doomed tasks.
+        window = config.jobs + 2
+        try:
+            while True:
+                now = time.monotonic()
+                halted = self._drain or status != "completed"
+                if not halted:
+                    while (retry_heap and retry_heap[0][0] <= now
+                           and len(submitted) < window):
+                        _, index = heapq.heappop(retry_heap)
+                        pool.submit(index, attempts[index],
+                                    self.specs[index])
+                        submitted.add(index)
+                    while feed and len(submitted) < window:
+                        index = feed.popleft()
+                        attempts.setdefault(index, 0)
+                        pool.submit(index, attempts[index],
+                                    self.specs[index])
+                        submitted.add(index)
+                if not submitted and (halted
+                                      or (not feed and not retry_heap)):
+                    break
+                timeout = 0.2
+                if retry_heap and not submitted:
+                    timeout = max(0.01, min(0.2, retry_heap[0][0] - now))
+                for index, attempt, result in pool.events(timeout=timeout):
+                    if index not in submitted or attempt != attempts[index]:
+                        continue  # stale duplicate from a failed-over task
+                    submitted.discard(index)
+                    key = self.keys[index]
+                    if result.ok:
+                        self._journal(journal,
+                                      ok_record(key, attempt, result))
+                        results[index] = result
+                        continue
+                    if not halted and self._retryable(result, attempt):
+                        self._bump("retries")
+                        attempts[index] = attempt + 1
+                        ready = (time.monotonic()
+                                 + self.config.retry.delay(key, attempt))
+                        heapq.heappush(retry_heap, (ready, index))
+                        continue
+                    self._journal(journal,
+                                  failed_record(key, attempt, result))
+                    results[index] = result
+                    failures += 1
+                    self._bump("failures_permanent")
+                    if self._budget_exhausted(failures):
+                        status = "failure-budget"
+        finally:
+            pool.stop(force=self._drain or status != "completed")
+        if self._drain:
+            return self._interrupted()
+        return status
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def _journal(self, journal: Optional[CampaignJournal],
+                 record: Dict[str, object]) -> None:
+        if journal is not None:
+            journal.append(record)
+
+    def _retryable(self, result: SpecResult, attempt: int) -> bool:
+        if classify_failure(result.error) != TRANSIENT:
+            return False
+        self._bump("failures_transient")
+        return attempt < self.config.retry.retries and not self._drain
+
+    def _budget_exhausted(self, failures: int) -> bool:
+        budget = self.config.max_failures
+        return budget is not None and failures > budget
+
+    def _interrupted(self) -> str:
+        try:
+            name = signal.Signals(self._signal).name
+        except (ValueError, TypeError):  # pragma: no cover
+            name = str(self._signal)
+        return f"interrupted:{name}"
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def _handle_signal(self, signum, frame) -> None:
+        self._drain = True
+        if self._signal is None:
+            self._signal = signum
+
+    def _install_signal_handlers(self):
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum,
+                                                 self._handle_signal)
+            except (ValueError, OSError):
+                # Not the main thread (tests, embedding): run without
+                # graceful draining rather than refusing to run at all.
+                pass
+        return previous
+
+    @staticmethod
+    def _restore_signal_handlers(previous) -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass

@@ -1,0 +1,217 @@
+"""Chaos harness: seeded adversity for the campaign durability layer.
+
+The paper's claim is that SPIN keeps the *fabric* making progress under
+arbitrary interleavings; this module applies the same philosophy to our own
+experiment harness.  It injects the failure modes a production sweep
+actually meets — worker processes dying outright, workers hanging forever,
+journal writes torn mid-record, whole campaigns SIGKILLed — so the chaos
+test suite (``pytest -m chaos``) can *prove* that a resumed campaign
+converges to the byte-identical artifact of an uninterrupted run.
+
+Injection is **deterministic**: every decision is a pure function of
+``(chaos seed, spec content key, attempt, mode)`` via a stable SHA-256
+draw, never of wall-clock time or pool scheduling.  The same chaos spec
+therefore reproduces the same failure pattern on every run, which is what
+makes chaos failures debuggable rather than flaky.
+
+Workers pick the policy up from the ``REPRO_CHAOS`` environment variable
+(see :func:`chaos_from_env`), so chaos reaches across the process boundary
+without widening any API.  The grammar mirrors docs/FAULTS.md::
+
+    REPRO_CHAOS="crash:p=0.5,seed=7"        # half of all first attempts die
+    REPRO_CHAOS="hang:p=1.0,hang=2.5"       # every first attempt hangs 2.5s
+    REPRO_CHAOS="fail@1:p=0.25"             # a quarter of *second* attempts
+    REPRO_CHAOS="crash@*:p=1.0"             # every attempt crashes (budget
+                                            # exhaustion paths)
+
+Modes:
+
+* ``crash`` — ``os._exit`` without cleanup: the OOM-kill / segfault model.
+* ``hang``  — sleep far past any heartbeat: the wedged-worker model.
+* ``fail``  — raise a normal exception: the deterministic-bug model (it
+  classifies as non-retryable, unlike the two above).
+
+By default a rule fires on attempt 0 only, so bounded retries are expected
+to succeed — the property most chaos tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Environment variable the worker-side injection hook reads.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Recognized injection modes.
+CHAOS_MODES = ("crash", "hang", "fail")
+
+#: Exit status a chaos-crashed worker dies with (distinctive in ps/waitpid).
+CRASH_EXIT_CODE = 96
+
+
+def _unit_draw(token: str) -> float:
+    """Uniform [0, 1) derived from a stable digest of ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One injection rule: a mode, a probability, and a target attempt.
+
+    Attributes:
+        mode: One of :data:`CHAOS_MODES`.
+        p: Probability the rule fires for a given spec (per the seeded
+            draw); 1.0 fires for every spec.
+        attempt: Attempt index the rule applies to (0 = first try), or
+            ``None`` for every attempt.
+    """
+
+    mode: str
+    p: float = 1.0
+    attempt: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in CHAOS_MODES:
+            raise ConfigurationError(f"unknown chaos mode {self.mode!r}",
+                                     known=list(CHAOS_MODES))
+        if not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError("chaos probability must be in [0, 1]",
+                                     p=self.p)
+        if self.attempt is not None and self.attempt < 0:
+            raise ConfigurationError("chaos attempt must be >= 0",
+                                     attempt=self.attempt)
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A seeded set of rules plus the hang duration."""
+
+    rules: Tuple[ChaosRule, ...]
+    seed: int = 0
+    hang_seconds: float = 3600.0
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The mode to inject for ``(spec key, attempt)``, or ``None``.
+
+        Pure function of the policy and its arguments — no RNG state, no
+        clock — so the same campaign replays the same chaos.
+        """
+        for rule in self.rules:
+            if rule.attempt is not None and rule.attempt != attempt:
+                continue
+            if _unit_draw(f"{self.seed}:{key}:{rule.mode}") < rule.p:
+                return rule.mode
+        return None
+
+    def inject(self, key: str, attempt: int) -> None:
+        """Apply the decided failure, if any, in the calling process.
+
+        ``crash`` never returns; ``hang`` sleeps :attr:`hang_seconds`
+        (long enough to trip any reasonable heartbeat timeout); ``fail``
+        raises a plain :class:`RuntimeError` so it classifies as a
+        deterministic (non-retryable) spec failure.
+        """
+        mode = self.decide(key, attempt)
+        if mode is None:
+            return
+        if mode == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if mode == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        raise RuntimeError(
+            f"chaos: injected deterministic failure (key={key}, "
+            f"attempt={attempt})")
+
+
+def parse_chaos_spec(text: str) -> ChaosPolicy:
+    """Parse the ``REPRO_CHAOS`` grammar into a :class:`ChaosPolicy`.
+
+    Comma-separated tokens; each is either a rule ``mode[@attempt][:p=P]``
+    (``@*`` targets every attempt) or a setting ``seed=N`` / ``hang=S``.
+    """
+    rules = []
+    seed = 0
+    hang_seconds = 3600.0
+    for token in filter(None, (part.strip() for part in text.split(","))):
+        if token.startswith("seed="):
+            try:
+                seed = int(token[len("seed="):])
+            except ValueError:
+                raise ConfigurationError("chaos seed must be an integer",
+                                         token=token) from None
+            continue
+        if token.startswith("hang="):
+            try:
+                hang_seconds = float(token[len("hang="):])
+            except ValueError:
+                raise ConfigurationError("chaos hang must be seconds",
+                                         token=token) from None
+            continue
+        head, _, tail = token.partition(":")
+        p = 1.0
+        if tail:
+            if not tail.startswith("p="):
+                raise ConfigurationError(
+                    "chaos rule options must look like ':p=0.5'",
+                    token=token)
+            try:
+                p = float(tail[len("p="):])
+            except ValueError:
+                raise ConfigurationError("chaos probability must be a float",
+                                         token=token) from None
+        mode, _, attempt_text = head.partition("@")
+        attempt: Optional[int] = 0
+        if attempt_text == "*":
+            attempt = None
+        elif attempt_text:
+            try:
+                attempt = int(attempt_text)
+            except ValueError:
+                raise ConfigurationError(
+                    "chaos attempt must be an integer or '*'",
+                    token=token) from None
+        rules.append(ChaosRule(mode=mode, p=p, attempt=attempt))
+    if not rules:
+        raise ConfigurationError("chaos spec names no rules", spec=text)
+    return ChaosPolicy(rules=tuple(rules), seed=seed,
+                       hang_seconds=hang_seconds)
+
+
+def chaos_from_env() -> Optional[ChaosPolicy]:
+    """The policy named by :data:`CHAOS_ENV`, or ``None`` when unset."""
+    text = os.environ.get(CHAOS_ENV)
+    if not text:
+        return None
+    return parse_chaos_spec(text)
+
+
+def tear_journal_tail(path: Union[str, Path]) -> int:
+    """Corrupt a journal the way a crash mid-``write`` does: tear the tail.
+
+    Truncates the file halfway into its final record, leaving every earlier
+    line intact — exactly the state an fsync'd append-only journal is left
+    in when the process dies between ``write`` and completion.  Returns the
+    number of bytes removed.  Test helper for the torn-write chaos family.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if not raw:
+        return 0
+    body = raw[:-1] if raw.endswith(b"\n") else raw
+    cut = body.rfind(b"\n") + 1  # start of the final record (0 if only one)
+    tail = len(raw) - cut
+    keep = cut + max(0, tail // 2)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return len(raw) - keep

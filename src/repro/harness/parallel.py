@@ -84,11 +84,19 @@ class ParallelRunner:
             An expired point becomes a failed record; note that an already
             *running* worker cannot be interrupted and is waited for at
             pool shutdown.
+        pool_respawns: How many times :meth:`run` may replace a broken
+            process pool and carry on with the remaining specs after a
+            worker crash (OOM-kill, segfault).  Once the budget is spent,
+            remaining specs are recorded as not run.  ``0`` restores the
+            old fail-fast behavior.  Campaigns needing per-worker
+            supervision use :class:`repro.harness.supervision.SupervisedPool`
+            instead.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
                  backend: str = "process",
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 pool_respawns: int = 1) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}", known=list(BACKENDS))
@@ -100,9 +108,15 @@ class ParallelRunner:
         if timeout is not None and timeout <= 0:
             raise ConfigurationError("timeout must be positive",
                                      timeout=timeout)
+        if pool_respawns < 0:
+            raise ConfigurationError("pool_respawns must be >= 0",
+                                     pool_respawns=pool_respawns)
         self.max_workers = max_workers
         self.backend = backend
         self.timeout = timeout
+        self.pool_respawns = pool_respawns
+        #: Pool respawns consumed by the most recent :meth:`run` call.
+        self.respawns_used = 0
 
     # ------------------------------------------------------------------
     # Whole-list execution
@@ -110,29 +124,49 @@ class ParallelRunner:
     def run(self, specs: Sequence[ExperimentSpec]) -> List[SpecResult]:
         """Execute every spec; one ordered :class:`SpecResult` each.
 
-        Failures (worker exception, crash, timeout) are captured per spec;
-        after a pool-breaking crash the remaining specs are recorded as
-        failed (with their specs intact for resubmission) rather than
-        silently dropped.
+        Failures (worker exception, crash, timeout) are captured per spec.
+        A worker crash breaks a :class:`ProcessPoolExecutor` permanently,
+        so the crashed spec is recorded as failed and — while the
+        ``pool_respawns`` budget lasts — a fresh pool is spun up to run
+        the remaining specs.  Only once the budget is exhausted are
+        leftovers recorded as not run (specs intact for resubmission)
+        rather than silently dropped.
         """
         specs = list(specs)
+        self.respawns_used = 0
         if self._serial():
             return [self._run_in_process(spec) for spec in specs]
         results: List[Optional[SpecResult]] = [None] * len(specs)
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [pool.submit(_execute_spec, spec) for spec in specs]
-            broken: Optional[str] = None
-            for index, future in enumerate(futures):
-                if broken is not None:
-                    future.cancel()
-                    results[index] = SpecResult(
-                        specs[index], None,
-                        error=f"not run: {broken}")
-                    continue
-                result = self._collect(specs[index], future)
-                results[index] = result
-                if result.error and result.error.startswith("worker crashed"):
-                    broken = "worker pool broke earlier in this batch"
+        index = 0
+        respawns_left = self.pool_respawns
+        while index < len(specs):
+            crashed_at: Optional[int] = None
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [pool.submit(_execute_spec, spec)
+                           for spec in specs[index:]]
+                for offset, future in enumerate(futures):
+                    if crashed_at is not None:
+                        future.cancel()
+                        continue
+                    i = index + offset
+                    result = self._collect(specs[i], future)
+                    results[i] = result
+                    if result.error and result.error.startswith(
+                            "worker crashed"):
+                        crashed_at = i
+            if crashed_at is None:
+                break
+            index = crashed_at + 1
+            if respawns_left > 0:
+                respawns_left -= 1
+                self.respawns_used += 1
+                continue
+            for i in range(index, len(specs)):
+                results[i] = SpecResult(
+                    specs[i], None,
+                    error="not run: worker pool broke earlier in this "
+                          "batch and the respawn budget was exhausted")
+            break
         return list(results)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------

@@ -17,6 +17,8 @@ parallel sweeps — measures through the identical code path.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -177,6 +179,18 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def content_key(self) -> str:
+        """Stable content-address of this spec (16 hex chars).
+
+        The digest covers the canonical JSON form of :meth:`to_dict`, so
+        two specs describing the same experiment hash identically across
+        processes and sessions — this is the key the campaign journal
+        (:mod:`repro.harness.campaign`) files completed results under.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict; exact inverse of :meth:`from_dict`."""
         return {

@@ -19,6 +19,7 @@ Schema (``repro.sweep-results/v1``)::
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -27,6 +28,33 @@ from repro.stats.sweep import SweepPoint
 
 #: Version tag written into (and demanded from) every results file.
 RESULTS_SCHEMA = "repro.sweep-results/v1"
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Durably replace ``path`` with ``text`` — all of it or none of it.
+
+    The text is written to a sibling temp file, fsync'd, then moved over
+    the target with :func:`os.replace` (atomic on POSIX), so a crash at
+    any instant leaves either the previous file or the complete new one —
+    never a torn half-write.  The containing directory is fsync'd
+    best-effort so the rename itself survives power loss.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(str(path.parent) or ".", os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent (e.g. NFS)
+        pass
+    return path
 
 
 def results_to_json(points: List[SweepPoint],
@@ -46,10 +74,12 @@ def results_to_json(points: List[SweepPoint],
 
 def save_results(path: Union[str, Path], points: List[SweepPoint],
                  meta: Optional[Dict[str, object]] = None) -> Path:
-    """Write a results file; returns the resolved path."""
-    path = Path(path)
-    path.write_text(results_to_json(points, meta))
-    return path
+    """Write a results file atomically; returns the resolved path.
+
+    Uses :func:`atomic_write_text`, so a crash mid-save can never leave a
+    half-written artifact — readers see the old file or the new file.
+    """
+    return atomic_write_text(path, results_to_json(points, meta))
 
 
 def results_from_json(text: str) -> Tuple[List[SweepPoint], Dict[str, object]]:

@@ -15,8 +15,16 @@ simulator-observer hook, but *recording* instead of asserting.  Layers
   ``trace_event`` exporters plus the dependency-free trace validator.
 * :mod:`repro.telemetry.report` — ``repro-sim report`` analytics: span
   tables, hot links, wedge timeline, occupancy heatmap.
+* :mod:`repro.telemetry.campaign` — campaign durability counters
+  (resumes, retries, worker respawns) mirrored from
+  :mod:`repro.harness.campaign` (docs/CAMPAIGNS.md).
 """
 
+from repro.telemetry.campaign import (
+    CAMPAIGN_COUNTER_FAMILIES,
+    campaign_counter_totals,
+    record_campaign_counters,
+)
 from repro.telemetry.export import (
     CHROME_FORMAT,
     JSONL_FORMAT,
@@ -37,6 +45,7 @@ from repro.telemetry.report import TraceReport
 from repro.telemetry.spans import SpanTracer, SpinSpan
 
 __all__ = [
+    "CAMPAIGN_COUNTER_FAMILIES",
     "CHROME_FORMAT",
     "JSONL_FORMAT",
     "Counter",
@@ -49,9 +58,11 @@ __all__ = [
     "TelemetryObserver",
     "TraceReport",
     "build_records",
+    "campaign_counter_totals",
     "chrome_trace",
     "config_from_env_value",
     "read_jsonl",
+    "record_campaign_counters",
     "telemetry_from_env",
     "validate_chrome_trace",
     "write_jsonl",

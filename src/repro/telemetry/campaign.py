@@ -1,0 +1,56 @@
+"""Campaign durability counters, surfaced through the metrics registry.
+
+The campaign engine (:mod:`repro.harness.campaign`) tallies its recovery
+machinery — resumed points, retries, worker respawns, hang kills, failure
+classes, torn journal records — in a plain dict so the hot path stays
+dependency-free.  This module is the bridge into observability: it mirrors
+those tallies into ``campaign_*`` :class:`~repro.telemetry.registry.Counter`
+families, where they sit next to the SPIN span and sample metrics and flow
+through the same exporters (docs/TELEMETRY.md, docs/CAMPAIGNS.md).
+
+Counters are deliberately **not** merged into ``SweepPoint.events`` or the
+results artifact: how often a campaign was interrupted and resumed is an
+operational fact about one execution, and folding it into the artifact
+would break the byte-identity guarantee between interrupted and
+uninterrupted runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.telemetry.registry import MetricsRegistry
+
+#: Counter families the campaign engine may report (prefix applied here).
+CAMPAIGN_COUNTER_FAMILIES = (
+    "campaign_points_resumed",
+    "campaign_retries",
+    "campaign_workers_respawned",
+    "campaign_workers_hung",
+    "campaign_failures_transient",
+    "campaign_failures_permanent",
+    "campaign_journal_torn_records",
+)
+
+_PREFIX = "campaign_"
+
+
+def record_campaign_counters(registry: MetricsRegistry,
+                             counters: Dict[str, int]) -> MetricsRegistry:
+    """Mirror an engine's counters dict into ``campaign_*`` families.
+
+    Unknown counter names are still recorded (prefixed), so a newer engine
+    never silently drops telemetry on an older registry consumer.
+    """
+    for name in sorted(counters):
+        value = counters[name]
+        if value:
+            registry.counter(_PREFIX + name).inc(value)
+    return registry
+
+
+def campaign_counter_totals(registry: MetricsRegistry) -> Dict[str, int]:
+    """All ``campaign_*`` counter totals currently in ``registry``."""
+    return {name: value
+            for name, value in registry.counter_totals().items()
+            if name.startswith(_PREFIX)}

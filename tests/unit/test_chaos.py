@@ -1,0 +1,149 @@
+"""Unit tests for the chaos harness: grammar, determinism, torn tails."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.chaos import (
+    CHAOS_ENV,
+    ChaosPolicy,
+    ChaosRule,
+    chaos_from_env,
+    parse_chaos_spec,
+    tear_journal_tail,
+)
+
+
+class TestRuleValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="chaos mode"):
+            ChaosRule(mode="explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            ChaosRule(mode="crash", p=1.5)
+        with pytest.raises(ConfigurationError, match="probability"):
+            ChaosRule(mode="crash", p=-0.1)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigurationError, match="attempt"):
+            ChaosRule(mode="crash", attempt=-1)
+
+
+class TestGrammar:
+    def test_single_mode(self):
+        policy = parse_chaos_spec("crash")
+        assert policy.rules == (ChaosRule(mode="crash", p=1.0, attempt=0),)
+        assert policy.seed == 0
+
+    def test_probability_and_seed(self):
+        policy = parse_chaos_spec("crash:p=0.5,seed=7")
+        assert policy.rules[0].p == 0.5
+        assert policy.seed == 7
+
+    def test_attempt_targeting(self):
+        policy = parse_chaos_spec("fail@1:p=0.25")
+        assert policy.rules[0].attempt == 1
+        assert policy.rules[0].p == 0.25
+
+    def test_every_attempt_wildcard(self):
+        policy = parse_chaos_spec("crash@*")
+        assert policy.rules[0].attempt is None
+
+    def test_hang_seconds_setting(self):
+        policy = parse_chaos_spec("hang:p=1.0,hang=2.5")
+        assert policy.hang_seconds == 2.5
+        assert policy.rules[0].mode == "hang"
+
+    def test_multiple_rules(self):
+        policy = parse_chaos_spec("crash:p=0.5,fail@1,seed=3")
+        assert len(policy.rules) == 2
+        assert [r.mode for r in policy.rules] == ["crash", "fail"]
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="no rules"):
+            parse_chaos_spec("seed=3")
+
+    def test_bad_tokens_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            parse_chaos_spec("crash,seed=x")
+        with pytest.raises(ConfigurationError, match="p=0.5"):
+            parse_chaos_spec("crash:q=0.5")
+        with pytest.raises(ConfigurationError, match="attempt"):
+            parse_chaos_spec("crash@x")
+
+
+class TestDeterminism:
+    def test_decide_is_pure(self):
+        policy = parse_chaos_spec("crash:p=0.5,seed=11")
+        decisions = [policy.decide(f"key{i}", 0) for i in range(64)]
+        assert decisions == [policy.decide(f"key{i}", 0) for i in range(64)]
+
+    def test_probability_half_hits_some_not_all(self):
+        policy = parse_chaos_spec("crash:p=0.5,seed=11")
+        fired = [policy.decide(f"key{i}", 0) for i in range(64)]
+        assert any(d == "crash" for d in fired)
+        assert any(d is None for d in fired)
+
+    def test_seed_changes_the_pattern(self):
+        a = parse_chaos_spec("crash:p=0.5,seed=1")
+        b = parse_chaos_spec("crash:p=0.5,seed=2")
+        keys = [f"key{i}" for i in range(64)]
+        assert ([a.decide(k, 0) for k in keys]
+                != [b.decide(k, 0) for k in keys])
+
+    def test_default_rule_spares_retries(self):
+        policy = parse_chaos_spec("crash")
+        assert policy.decide("key", 0) == "crash"
+        assert policy.decide("key", 1) is None
+
+    def test_wildcard_rule_hits_every_attempt(self):
+        policy = parse_chaos_spec("crash@*")
+        assert policy.decide("key", 0) == "crash"
+        assert policy.decide("key", 5) == "crash"
+
+    def test_inject_fail_raises(self):
+        policy = parse_chaos_spec("fail")
+        with pytest.raises(RuntimeError, match="chaos"):
+            policy.inject("key", 0)
+        policy.inject("key", 1)  # spared attempt: no-op
+
+
+class TestEnvHook:
+    def test_unset_means_no_policy(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert chaos_from_env() is None
+
+    def test_env_spec_parsed(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "fail:p=0.5,seed=9")
+        policy = chaos_from_env()
+        assert isinstance(policy, ChaosPolicy)
+        assert policy.seed == 9
+
+
+class TestTearJournalTail:
+    def test_tears_only_final_record(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        records = [json.dumps({"key": f"k{i}", "status": "ok"})
+                   for i in range(3)]
+        path.write_text("\n".join(records) + "\n")
+        removed = tear_journal_tail(path)
+        assert removed > 0
+        lines = path.read_text().split("\n")
+        assert json.loads(lines[0])["key"] == "k0"
+        assert json.loads(lines[1])["key"] == "k1"
+        with pytest.raises(ValueError):
+            json.loads(lines[2])
+
+    def test_single_record_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"key": "k0", "status": "ok"}) + "\n")
+        tear_journal_tail(path)
+        with pytest.raises(ValueError):
+            json.loads(path.read_text())
+
+    def test_empty_file_noop(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("")
+        assert tear_journal_tail(path) == 0

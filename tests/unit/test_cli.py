@@ -150,3 +150,79 @@ class TestSweepCommand:
                                   "--output", str(parallel)]) == 0
         capsys.readouterr()  # drain the tables
         assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_failed_points_exit_nonzero_with_summary(self, capsys):
+        code = main(["sweep", "--design", "spin_mesh",
+                     "--pattern", "nonexistent", "--rates", "0.02,0.05",
+                     "--mesh-side", "4", "--warmup", "100",
+                     "--measure", "400", "--drain", "300",
+                     "--abort-cycles", "500"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "point(s) failed" in out
+        assert "worker raised" in out  # the per-error-class table
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError, match="--retries"):
+            main(self.SMALL + ["--rates", "0.05", "--retries", "-1"])
+
+    def test_negative_max_failures_rejected(self):
+        with pytest.raises(ConfigurationError, match="--max-failures"):
+            main(self.SMALL + ["--rates", "0.05", "--max-failures", "-1"])
+
+
+class TestSweepCampaign:
+    SMALL = TestSweepCommand.SMALL
+
+    def test_campaign_writes_manifest_and_journal(self, capsys, tmp_path):
+        campaign = tmp_path / "camp"
+        code = main(self.SMALL + ["--rates", "0.02,0.05",
+                                  "--campaign", str(campaign)])
+        assert code == 0
+        assert (campaign / "manifest.json").exists()
+        journal = (campaign / "journal.jsonl").read_text()
+        assert len(journal.strip().split("\n")) == 2
+
+    def test_campaign_rerun_resumes_all_points(self, capsys, tmp_path):
+        campaign = tmp_path / "camp"
+        args = self.SMALL + ["--rates", "0.02,0.05",
+                             "--campaign", str(campaign)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "points_resumed=2" in capsys.readouterr().out
+
+    def test_campaign_dir_spec_mismatch_rejected(self, tmp_path):
+        campaign = tmp_path / "camp"
+        assert main(self.SMALL + ["--rates", "0.02",
+                                  "--campaign", str(campaign)]) == 0
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            main(self.SMALL + ["--rates", "0.02,0.05",
+                               "--campaign", str(campaign)])
+
+    def test_resume_rebuilds_identical_artifact(self, capsys, tmp_path):
+        campaign, out_file = tmp_path / "camp", tmp_path / "out.json"
+        assert main(self.SMALL + ["--rates", "0.02,0.05",
+                                  "--campaign", str(campaign),
+                                  "--output", str(out_file)]) == 0
+        golden = out_file.read_bytes()
+        out_file.unlink()
+        # --resume takes everything (specs, meta, output) from the manifest.
+        assert main(["sweep", "--resume", str(campaign)]) == 0
+        assert out_file.read_bytes() == golden
+
+    def test_resume_conflicts_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            main(["sweep", "--resume", str(tmp_path / "a"),
+                  "--campaign", str(tmp_path / "b")])
+        with pytest.raises(ConfigurationError, match="drop --design"):
+            main(["sweep", "--resume", str(tmp_path / "a"),
+                  "--design", "spin_mesh"])
+
+    def test_sweep_without_design_or_resume_rejected(self):
+        with pytest.raises(ConfigurationError, match="--resume"):
+            main(["sweep"])
+
+    def test_resume_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="manifest"):
+            main(["sweep", "--resume", str(tmp_path / "nowhere")])

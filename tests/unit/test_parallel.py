@@ -108,18 +108,48 @@ class TestProcessBackend:
         assert not results[0].ok
         assert "worker crashed" in results[0].error
 
-    def test_crash_marks_remaining_not_run(self):
+    def test_crash_respawns_pool_and_finishes_batch(self):
         crash = CrashingSpec(design="spin_mesh", injection_rate=0.05,
                              mesh_side=4, sim=TINY)
         specs = [crash] + tiny_spec().curve([0.02, 0.05, 0.08])
-        results = ParallelRunner(max_workers=2, backend="process").run(specs)
+        runner = ParallelRunner(max_workers=2, backend="process")
+        results = runner.run(specs)
         assert not results[0].ok
         assert "worker crashed" in results[0].error
-        # Once the pool is broken, later specs must be reported as not
-        # run — never silently dropped or re-executed in the parent.
+        # A crash breaks the ProcessPoolExecutor; the default respawn
+        # budget replaces it so every remaining spec still runs.
+        assert len(results) == len(specs)
+        assert all(r.ok for r in results[1:])
+        assert runner.respawns_used == 1
+
+    def test_crash_respawn_matches_serial_points(self):
+        crash = CrashingSpec(design="spin_mesh", injection_rate=0.05,
+                             mesh_side=4, sim=TINY)
+        curve = tiny_spec().curve([0.02, 0.06])
+        results = ParallelRunner(max_workers=2,
+                                 backend="process").run([crash] + curve)
+        serial = ParallelRunner(backend="serial").run(curve)
+        assert [r.point for r in results[1:]] == [r.point for r in serial]
+
+    def test_crash_marks_remaining_not_run_when_budget_exhausted(self):
+        crash = CrashingSpec(design="spin_mesh", injection_rate=0.05,
+                             mesh_side=4, sim=TINY)
+        specs = [crash] + tiny_spec().curve([0.02, 0.05, 0.08])
+        runner = ParallelRunner(max_workers=2, backend="process",
+                                pool_respawns=0)
+        results = runner.run(specs)
+        assert not results[0].ok
+        assert "worker crashed" in results[0].error
+        # With the respawn budget exhausted, later specs must be reported
+        # as not run — never silently dropped or re-executed in the parent.
         assert len(results) == len(specs)
         not_run = [r for r in results[1:] if r.error and "not run" in r.error]
         assert not_run, "later specs should carry a 'not run' record"
+        assert runner.respawns_used == 0
+
+    def test_bad_pool_respawns_rejected(self):
+        with pytest.raises(ConfigurationError, match="pool_respawns"):
+            ParallelRunner(pool_respawns=-1)
 
 
 class TestRunCurve:
