@@ -1,18 +1,30 @@
 #!/usr/bin/env python
-"""Sweep-engine benchmark: serial vs parallel wall-clock on one mesh sweep.
+"""Sweep-engine benchmark: serial vs parallel vs fast-engine wall-clock.
 
-Runs the same list of :class:`ExperimentSpec` points twice — once serially,
-once across ``--jobs`` worker processes — verifies the two runs produce
-*identical* points, and writes a ``BENCH_sweep.json`` record::
+Runs the same list of :class:`ExperimentSpec` points serially, across
+``--jobs`` worker processes, and under the ``fast`` engine — verifies every
+leg produces *identical* points — and writes a ``BENCH_sweep.json``
+record::
 
     {
-      "schema": "repro.bench-sweep/v1",
+      "schema": "repro.bench-sweep/v2",
       "design": ..., "pattern": ..., "rates": [...], "jobs": N,
       "points": n, "cycles": total-simulated-cycles,
       "serial":   {"wall_time_s": ..., "cycles_per_sec": ..., "points_per_sec": ...},
       "parallel": {"wall_time_s": ..., "cycles_per_sec": ..., "points_per_sec": ...},
       "speedup": serial / parallel,
       "identical_points": true,
+      "fast_engine": {                  # engine="fast" over the same specs
+        "serial": {...},                # same leg shape as above
+        "speedup_vs_serial": ...,       # aggregate, load-dominated sweep
+        "identical_points": true
+      },
+      "idle_skip": {                    # low-load point with a long drain
+        "rate": ..., "drain_cycles": ...,
+        "reference": {...}, "fast": {...},
+        "speedup": ...,                 # event-driven skipping head-to-head
+        "identical_points": true
+      },
       "telemetry": {
         "disabled": {...},              # same leg shape; no observer attached
         "enabled": {...},               # TelemetryObserver recording each point
@@ -25,6 +37,16 @@ The ``telemetry.disabled`` leg re-times the serial path with the telemetry
 plumbing in place but the flag off (no observer is registered, so the hot
 loop is byte-for-byte the pre-telemetry schedule); comparing it against
 ``serial`` bounds the disabled-mode overhead, which must stay ≤ 1%.
+
+The two engine legs measure different regimes.  ``fast_engine`` re-runs
+the full sweep — including saturated, deadlock-heavy loads where bit-exact
+replication of routing randomness and SPIN recovery bounds the possible
+win — so its speedup is the honest aggregate on busy networks.
+``idle_skip`` times one low-load point with a ``--idle-drain``-cycle drain
+tail: the regime the event-driven core exists for, where quiescent routers
+cost nothing and the drained epilogue is skipped wholesale.  Identity is
+enforced on both (identical :class:`SweepPoint` lists, which cover the
+delivered-packet statistics, deadlock verdicts and event counters).
 
 This file is the start of the repo's measurable perf trajectory: every PR
 that touches the hot path can re-run it and diff the JSON.  Usage::
@@ -51,7 +73,7 @@ from repro.config import SimulationConfig
 from repro.harness.parallel import ParallelRunner
 from repro.harness.runner import ExperimentSpec
 
-BENCH_SCHEMA = "repro.bench-sweep/v1"
+BENCH_SCHEMA = "repro.bench-sweep/v2"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--measure", type=int, default=1000)
     parser.add_argument("--drain", type=int, default=800)
     parser.add_argument("--abort-cycles", type=int, default=1000)
+    parser.add_argument("--idle-drain", type=int, default=30000,
+                        help="drain cycles of the idle-skip leg (the "
+                             "fast engine's event-driven regime)")
     parser.add_argument("--output", default="BENCH_sweep.json",
                         metavar="FILE.json")
     return parser
@@ -124,13 +149,45 @@ def main(argv=None) -> int:
         ParallelRunner(max_workers=args.jobs, backend="process"), specs)
     identical = serial_points == parallel_points
 
+    # Fast-engine legs (see module docstring for what each regime means).
+    from dataclasses import replace
+
+    fast_specs = [replace(spec, engine="fast") for spec in specs]
+    fast_points, fast_wall = _leg(
+        ParallelRunner(max_workers=1, backend="serial"), fast_specs)
+    fast_identical = fast_points == serial_points
+    fast_record = {
+        "serial": _stats(fast_points, fast_wall),
+        "speedup_vs_serial": (round(serial_wall / fast_wall, 3)
+                              if fast_wall > 0 else None),
+        "identical_points": fast_identical,
+    }
+
+    idle_sim = SimulationConfig(
+        warmup_cycles=args.warmup, measure_cycles=args.measure,
+        drain_cycles=args.idle_drain,
+        deadlock_abort_cycles=args.idle_drain + args.abort_cycles)
+    idle_spec = replace(base, injection_rate=rates[0], sim=idle_sim)
+    idle_runner = ParallelRunner(max_workers=1, backend="serial")
+    idle_ref_points, idle_ref_wall = _leg(idle_runner, [idle_spec])
+    idle_fast_points, idle_fast_wall = _leg(
+        idle_runner, [replace(idle_spec, engine="fast")])
+    idle_identical = idle_fast_points == idle_ref_points
+    idle_record = {
+        "rate": rates[0],
+        "drain_cycles": args.idle_drain,
+        "reference": _stats(idle_ref_points, idle_ref_wall),
+        "fast": _stats(idle_fast_points, idle_fast_wall),
+        "speedup": (round(idle_ref_wall / idle_fast_wall, 3)
+                    if idle_fast_wall > 0 else None),
+        "identical_points": idle_identical,
+    }
+
     # Telemetry legs: disabled (plumbing present, no observer — bounds the
     # disabled-mode overhead against the serial leg) and enabled
     # (recording observer on every point — the cost of observability).
     serial_runner = ParallelRunner(max_workers=1, backend="serial")
     disabled_points, disabled_wall = _leg(serial_runner, specs)
-    from dataclasses import replace
-
     telemetry_specs = [replace(spec, telemetry=True) for spec in specs]
     enabled_points, enabled_wall = _leg(serial_runner, telemetry_specs)
     disabled_stats = _stats(disabled_points, disabled_wall)
@@ -160,7 +217,12 @@ def main(argv=None) -> int:
         "seed": args.seed,
         "mesh_side": args.mesh_side,
         "jobs": args.jobs,
+        # Both counts matter: cpu_count is the host's cores, the affinity
+        # count is what this process may actually use (cgroup/taskset
+        # limits) — conflating them mislabels parallel-leg expectations.
         "cpu_count": os.cpu_count(),
+        "cpu_affinity_count": (len(os.sched_getaffinity(0))
+                               if hasattr(os, "sched_getaffinity") else None),
         "points": len(serial_points),
         "cycles": sum(point.cycles for point in serial_points),
         "serial": _stats(serial_points, serial_wall),
@@ -168,6 +230,8 @@ def main(argv=None) -> int:
         "speedup": (round(serial_wall / parallel_wall, 3)
                     if parallel_wall > 0 else None),
         "identical_points": identical,
+        "fast_engine": fast_record,
+        "idle_skip": idle_record,
         "telemetry": telemetry_record,
     }
     Path(args.output).write_text(json.dumps(record, indent=2,
@@ -175,6 +239,14 @@ def main(argv=None) -> int:
     print(json.dumps(record, indent=2, sort_keys=True))
     if not identical:
         print("ERROR: serial and parallel points diverged", file=sys.stderr)
+        return 1
+    if not fast_identical:
+        print("ERROR: fast-engine points diverged from the reference "
+              "engine", file=sys.stderr)
+        return 1
+    if not idle_identical:
+        print("ERROR: idle-skip fast-engine point diverged from the "
+              "reference engine", file=sys.stderr)
         return 1
     if not telemetry_record["points_match_ignoring_telemetry_events"]:
         print("ERROR: telemetry-enabled points diverged beyond the "

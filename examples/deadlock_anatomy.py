@@ -19,7 +19,7 @@ from repro.deadlock.waitgraph import find_deadlocked_packets
 from repro.network.network import Network
 from repro.config import NetworkConfig
 from repro.routing.adaptive import MinimalAdaptiveRouting
-from repro.sim.engine import Simulator
+from repro.sim import create_engine
 from repro.topology.ring import RingTopology, COUNTER_CLOCKWISE
 from repro.network.packet import Packet
 
@@ -56,7 +56,7 @@ def main():
                       MinimalAdaptiveRouting(1), spin=SpinParams(tdd=TDD),
                       seed=1)
     packets = plant_deadlock(network)
-    sim = Simulator()
+    sim = create_engine()  # any engine narrates identically (REPRO_ENGINE)
     sim.register(network)
 
     print(f"Planted a deadlocked ring of {RING} packets "

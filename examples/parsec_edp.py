@@ -21,7 +21,7 @@ from repro.network.network import Network
 from repro.power.model import RouterSpec, network_edp
 from repro.routing.adaptive import MinimalAdaptiveRouting
 from repro.routing.escape import EscapeVcRouting
-from repro.sim.engine import Simulator
+from repro.sim import create_engine
 from repro.topology.mesh import MeshTopology
 from repro.traffic.parsec import PARSEC_PROFILES, ParsecWorkload
 
@@ -41,7 +41,9 @@ def run_one(benchmark, routing_factory, vcs, spin):
                               SIM.warmup_cycles + SIM.measure_cycles)
     workload = ParsecWorkload(network, PARSEC_PROFILES[benchmark], seed=3,
                               stop_at=SIM.warmup_cycles + SIM.measure_cycles)
-    simulator = Simulator()
+    # create_engine() honours REPRO_ENGINE, so e.g. REPRO_ENGINE=fast runs
+    # this example under the fast core with identical results.
+    simulator = create_engine()
     simulator.register(workload)
     simulator.register(network)
     simulator.run(SIM.total_cycles)

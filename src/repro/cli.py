@@ -25,6 +25,7 @@ from repro.faults import parse_fault_spec
 from repro.harness.configs import ALL_DESIGNS, get_design, resolve_design_name
 from repro.harness.runner import run_design
 from repro.harness.tables import format_table
+from repro.sim import ENGINE_ENV_VAR, available_engines
 from repro.verify.differential import DEFAULT_TRIAD, run_conformance
 from repro.power.model import AreaModel, EnergyModel, RouterSpec
 from repro.stats.results import save_results
@@ -125,6 +126,12 @@ def _add_run_args(parser: argparse.ArgumentParser,
                         help="attach the recording telemetry observer; "
                         "telemetry_* tallies land in the point's event "
                         "counters (docs/TELEMETRY.md)")
+    parser.add_argument("--engine", default=None,
+                        choices=available_engines(),
+                        help="simulation engine (default: the "
+                        f"{ENGINE_ENV_VAR} environment variable, else "
+                        "'reference'; engines are bit-identical — 'fast' "
+                        "skips provably-no-op work, see docs/API.md)")
 
 
 def cmd_designs(args) -> int:
@@ -146,7 +153,8 @@ def cmd_run(args) -> int:
         args.design, args.pattern, args.rate, _sim_config(args),
         seed=args.seed, mesh_side=args.mesh_side, dragonfly=dragonfly,
         tdd=args.tdd, faults=args.faults, fault_seed=args.fault_seed,
-        verify=args.verify, telemetry=args.telemetry)
+        verify=args.verify, telemetry=args.telemetry,
+        engine=args.engine or "")
     rows = [
         ["offered load (flits/node/cycle)", args.rate],
         ["mean latency (cycles)", round(point.mean_latency, 2)],
@@ -217,7 +225,7 @@ def _sweep_campaign_inputs(args):
         dragonfly=_parse_dragonfly(args.dragonfly), tdd=args.tdd,
         faults=args.faults, fault_seed=args.fault_seed,
         sim=_sim_config(args), verify=args.verify,
-        telemetry=args.telemetry)
+        telemetry=args.telemetry, engine=args.engine or "")
     specs = base.curve(rates)
     # The meta block is deliberately deterministic (no timestamps, no
     # worker count), so the same sweep writes byte-identical files
@@ -230,6 +238,10 @@ def _sweep_campaign_inputs(args):
         "faults": base.faults,
         "fault_seed": args.fault_seed,
     }
+    if base.engine:
+        # Only a pinned engine is sweep identity (engines are bit-identical;
+        # an unset field keeps pre-engine manifests byte-compatible).
+        meta["engine"] = base.engine
     if args.campaign:
         from pathlib import Path
 
@@ -345,7 +357,8 @@ def cmd_verify(args) -> int:
     for seed in seeds:
         report = run_conformance(
             pattern=args.pattern, injection_rate=args.rate, seed=seed,
-            designs=designs, mesh_side=args.mesh_side)
+            designs=designs, mesh_side=args.mesh_side,
+            engine=args.engine or "")
         reports.append(report)
         print(report.summary())
         print()
@@ -397,7 +410,7 @@ def cmd_trace(args) -> int:
                              packet_traces=args.packet_traces)
 
     if args.scenario:
-        from repro.sim.engine import Simulator
+        from repro.sim import create_engine
         from repro.verify.golden import SCENARIOS
 
         if args.scenario not in SCENARIOS:
@@ -406,7 +419,7 @@ def cmd_trace(args) -> int:
                 known=sorted(SCENARIOS))
         scenario = SCENARIOS[args.scenario]
         network, traffic = scenario.builder()
-        simulator = Simulator()
+        simulator = create_engine(args.engine)
         if traffic is not None:
             simulator.register(traffic)
         simulator.register(network)
@@ -432,13 +445,15 @@ def cmd_trace(args) -> int:
             mesh_side=args.mesh_side,
             dragonfly=_parse_dragonfly(args.dragonfly), tdd=args.tdd,
             faults=args.faults, fault_seed=args.fault_seed,
-            sim=_sim_config(args), verify=args.verify)
+            sim=_sim_config(args), verify=args.verify,
+            engine=args.engine or "")
         network, traffic, injector = spec.build()
         observer = TelemetryObserver(network, config)
         point = simulate_point(network, traffic, spec.sim,
                                injection_rate=spec.injection_rate,
                                injector=injector, verify=spec.verify,
-                               telemetry_observer=observer)
+                               telemetry_observer=observer,
+                               engine=spec.engine or None)
         meta = {"design": spec.design, "pattern": spec.pattern,
                 "injection_rate": spec.injection_rate, "seed": spec.seed,
                 "cycles": point.cycles, "wedged": point.wedged}
@@ -562,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--output", default=None,
                                metavar="FILE.json",
                                help="write the full reports as JSON")
+    verify_parser.add_argument("--engine", default=None,
+                               choices=available_engines(),
+                               help="simulation engine every scheme runs "
+                               "under (engines are bit-identical)")
 
     trace_parser = sub.add_parser(
         "trace",

@@ -135,7 +135,7 @@ class CentralizedSpinPlane:
             packet = vc.release(now)
             router.out_links[outport].occupy(now, packet.length)
             router.port_busy[vc.inport] = now + packet.length - 1
-            network.note_vc_released(router)
+            network.note_vc_released(router, vc)
         for i, (vc, outport) in enumerate(ring):
             router = network.routers[vc.router]
             packet = packets[i]
@@ -153,7 +153,7 @@ class CentralizedSpinPlane:
             packet.current_request = None
             network.routing.on_hop(packet, router, outport)
             network.stats.count("flit_hops", packet.length)
-            network.note_vc_reserved(network.routers[target.router])
+            network.note_vc_reserved(network.routers[target.router], target)
         network.note_movement()
         self.spins_performed += 1
         network.stats.count("centralized_spins")

@@ -131,7 +131,7 @@ class SpinExecutor:
             packet = vc.release(now)
             router.out_links[outport].occupy(now, packet.length)
             router.port_busy[vc.inport] = now + packet.length - 1
-            network.note_vc_released(router)
+            network.note_vc_released(router, vc)
         for i, vc in enumerate(entries):
             router = network.routers[vc.router]
             outport = outports[i]
@@ -162,7 +162,7 @@ class SpinExecutor:
             packet.current_request = None
             routing.on_hop(packet, router, outport)
             network.stats.count("flit_hops", packet.length)
-            network.note_vc_reserved(network.routers[target.router])
+            network.note_vc_reserved(network.routers[target.router], target)
         network.note_movement()
 
     def _classify_ground_truth(self, entries: List[VirtualChannel],

@@ -211,7 +211,7 @@ class ProactiveSpinPlane:
             packet = vc.release(now)
             router.out_links[outport].occupy(now, packet.length)
             router.port_busy[vc.inport] = now + packet.length - 1
-            network.note_vc_released(router)
+            network.note_vc_released(router, vc)
         for i in moving:
             router_id, _inport, outport = chain[i]
             router = network.routers[router_id]
@@ -232,7 +232,8 @@ class ProactiveSpinPlane:
             packet.current_request = None
             network.routing.on_hop(packet, router, outport)
             network.stats.count("flit_hops", packet.length)
-            network.note_vc_reserved(network.routers[target_vc.router])
+            network.note_vc_reserved(network.routers[target_vc.router],
+                                     target_vc)
         network.note_movement()
         self.drains_performed += 1
         self.packets_drained += len(moving)

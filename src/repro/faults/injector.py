@@ -256,7 +256,7 @@ class FaultInjector:
     def _drop_packet(self, router, vc, now: int, reason: str) -> None:
         packet = vc.release(now)
         network = self.network
-        network.note_vc_released(router)
+        network.note_vc_released(router, vc)
         network.stats.record_loss(packet, now)
         network.stats.count(f"packets_lost_{reason}")
 

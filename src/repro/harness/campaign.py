@@ -134,8 +134,16 @@ class CampaignJournal:
 
 def ok_record(key: str, attempt: int, result: SpecResult
               ) -> Dict[str, object]:
-    """Journal record for a completed point."""
+    """Journal record for a completed point.
+
+    ``engine`` records which simulation engine actually produced the point
+    (the spec's engine after precedence — a spec that leaves the field
+    unset still resolves through environment/default at run time).  The
+    journal is provenance: engines are bit-identical, but a resumed
+    campaign must not silently mix engines (see ``_replay``).
+    """
     return {"key": key, "attempt": attempt, "status": "ok",
+            "engine": result.spec.effective_engine(),
             "point": result.point.to_dict(),
             "wall_time": result.wall_time}
 
@@ -397,6 +405,19 @@ class CampaignEngine:
             record = completed.get(key)
             if record is None:
                 continue
+            journaled = record.get("engine")
+            expected = self.specs[index].effective_engine()
+            if journaled is not None and journaled != expected:
+                # Engines are bit-identical, but a resume that silently
+                # mixed engines would falsify the journal's provenance —
+                # refuse and make the operator pick one.  (Pre-engine
+                # journals carry no engine field and resume under any.)
+                raise ConfigurationError(
+                    "campaign journal was written under a different "
+                    "engine; resume with the original engine or start a "
+                    "fresh campaign directory",
+                    journaled=journaled, resuming=expected,
+                    directory=str(self.directory))
             point = SweepPoint.from_dict(record["point"])
             results[index] = SpecResult(
                 self.specs[index], point,

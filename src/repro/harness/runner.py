@@ -32,6 +32,7 @@ from repro.harness.configs import (
     get_design,
     resolve_design_name,
 )
+from repro.sim.engine_api import resolve_engine_name
 from repro.sim.rng import DeterministicRng
 from repro.stats.sweep import (
     SaturationCursor,
@@ -72,6 +73,11 @@ class ExperimentSpec:
             ``telemetry_*`` tallies land in ``SweepPoint.events``.  The
             ``REPRO_TELEMETRY`` environment variable enables telemetry
             for every run regardless of this flag (docs/TELEMETRY.md).
+        engine: Simulator engine name (``reference``/``fast``) driving the
+            cycle loop for this point; the empty string (the default)
+            means "unset" and falls through the selection precedence
+            (CLI flag, then ``REPRO_ENGINE``, then ``reference``) — see
+            :mod:`repro.sim.engine_api`.
 
     Construction validates everything that can be validated without
     building a network, so a bad spec fails in the parent process before
@@ -91,8 +97,14 @@ class ExperimentSpec:
     sim: SimulationConfig = field(default_factory=SimulationConfig)
     verify: bool = False
     telemetry: bool = False
+    engine: str = ""
 
     def __post_init__(self) -> None:
+        if self.engine:
+            # Validate eagerly so a bad name fails in the parent process;
+            # an unset engine stays "" and resolves at run time.
+            object.__setattr__(self, "engine",
+                               resolve_engine_name(self.engine))
         object.__setattr__(self, "design", resolve_design_name(self.design))
         object.__setattr__(self, "dragonfly", tuple(self.dragonfly))
         object.__setattr__(self, "faults",
@@ -148,8 +160,13 @@ class ExperimentSpec:
                                injector=injector,
                                raise_on_wedge=raise_on_wedge,
                                verify=self.verify,
-                               telemetry=self.telemetry)
+                               telemetry=self.telemetry,
+                               engine=self.engine or None)
         return network, point
+
+    def effective_engine(self) -> str:
+        """The engine name this spec runs under, after precedence."""
+        return resolve_engine_name(self.engine or None)
 
     # ------------------------------------------------------------------
     # Derivation
@@ -193,7 +210,7 @@ class ExperimentSpec:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict; exact inverse of :meth:`from_dict`."""
-        return {
+        data = {
             "design": self.design,
             "pattern": self.pattern,
             "injection_rate": self.injection_rate,
@@ -210,6 +227,12 @@ class ExperimentSpec:
             "verify": self.verify,
             "telemetry": self.telemetry,
         }
+        # Emitted only when set: engines produce bit-identical results, so
+        # an unset engine must hash like a pre-engine-field spec (existing
+        # campaign journals stay resumable).
+        if self.engine:
+            data["engine"] = self.engine
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
@@ -263,7 +286,8 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
                faults: Optional[str] = None,
                fault_seed: int = 0,
                verify: bool = False,
-               telemetry: bool = False):
+               telemetry: bool = False,
+               engine: str = ""):
     """Run one design at one load; returns (network, SweepPoint).
 
     Thin wrapper over :class:`ExperimentSpec` kept for convenience and
@@ -281,7 +305,7 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
         sim=sim_config or SimulationConfig(), seed=seed,
         mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
         faults=faults, fault_seed=fault_seed, verify=verify,
-        telemetry=telemetry)
+        telemetry=telemetry, engine=engine)
     return spec.run()
 
 
@@ -296,7 +320,8 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
                   fault_seed: int = 0,
                   jobs: int = 1,
                   verify: bool = False,
-                  telemetry: bool = False) -> Tuple[List[SweepPoint], float]:
+                  telemetry: bool = False,
+                  engine: str = "") -> Tuple[List[SweepPoint], float]:
     """Latency-vs-injection curve for one design and pattern.
 
     Args:
@@ -314,7 +339,7 @@ def latency_curve(design_name: str, pattern_name: str, rates: List[float],
         sim=sim_config or SimulationConfig(), seed=seed,
         mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
         faults=faults, fault_seed=fault_seed, verify=verify,
-        telemetry=telemetry)
+        telemetry=telemetry, engine=engine)
     curve = spec.curve(rates)
     if jobs > 1:
         from repro.harness.parallel import ParallelRunner

@@ -62,6 +62,10 @@ class Network:
 
         #: Attached runtime fault injector (see :mod:`repro.faults`), if any.
         self.fault_injector = None
+        #: Engine event sink (see :mod:`repro.sim.fastcore`): when set, VC
+        #: reserve/release and NIC-backlog events are forwarded so an
+        #: event-driven engine can track activity without polling.
+        self.engine_sink = None
         #: Number of directed links currently failed (fast path for the
         #: routing layer's dead-link filtering).
         self.dead_link_count = 0
@@ -158,11 +162,15 @@ class Network:
         """Ejection-port index of a terminal node at its router."""
         return EJECT_PORT_BASE + self.nics[node].local_index
 
-    def note_vc_reserved(self, router: Router) -> None:
+    def note_vc_reserved(self, router: Router, vc=None) -> None:
         router.active_vcs += 1
+        if self.engine_sink is not None:
+            self.engine_sink.vc_reserved(router, vc)
 
-    def note_vc_released(self, router: Router) -> None:
+    def note_vc_released(self, router: Router, vc=None) -> None:
         router.active_vcs -= 1
+        if self.engine_sink is not None:
+            self.engine_sink.vc_released(router, vc)
 
     def note_movement(self) -> None:
         self.last_movement = self.now

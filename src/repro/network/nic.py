@@ -40,6 +40,9 @@ class NetworkInterface:
         """Queue a freshly created packet for injection."""
         self.queues[packet.vnet].append(packet)
         self.packets_created += 1
+        network = self.network
+        if network is not None and network.engine_sink is not None:
+            network.engine_sink.nic_backlogged(self.node)
         backlog = sum(len(q) for q in self.queues)
         if backlog > self.peak_backlog:
             self.peak_backlog = backlog
@@ -78,7 +81,7 @@ class NetworkInterface:
                        router_latency=router.config.router_latency)
             router.port_busy[self.inject_port] = now + packet.length - 1
             packet.inject_cycle = now
-            self.network.note_vc_reserved(router)
+            self.network.note_vc_reserved(router, vc)
             self.network.stats.record_injection(packet, now)
             return packet
         return None

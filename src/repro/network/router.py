@@ -246,8 +246,8 @@ class Router:
         packet.current_request = None
         routing.on_hop(packet, self, outport)
         network.stats.count("flit_hops", packet.length)
-        network.note_vc_released(self)
-        network.note_vc_reserved(neighbor)
+        network.note_vc_released(self, vc)
+        network.note_vc_reserved(neighbor, dvc)
         network.note_movement()
 
     def _grant_ejection(self, vc: VirtualChannel, outport: int,
@@ -260,7 +260,7 @@ class Router:
         packet.eject_cycle = now + 1 + packet.length - 1
         packet.current_request = None
         self.network.deliver(packet, self.id, outport, now)
-        self.network.note_vc_released(self)
+        self.network.note_vc_released(self, vc)
         self.network.note_movement()
 
     def __repr__(self) -> str:

@@ -1,6 +1,25 @@
-"""Cycle-level simulation kernel: clock loop and deterministic RNG."""
+"""Cycle-level simulation kernel: engines, clock loop, deterministic RNG."""
 
 from repro.sim.rng import DeterministicRng
 from repro.sim.engine import Simulator
+from repro.sim.engine_api import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    SimulatorEngine,
+    available_engines,
+    build_simulation_loop,
+    create_engine,
+    resolve_engine_name,
+)
 
-__all__ = ["DeterministicRng", "Simulator"]
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "DeterministicRng",
+    "Simulator",
+    "SimulatorEngine",
+    "available_engines",
+    "build_simulation_loop",
+    "create_engine",
+    "resolve_engine_name",
+]

@@ -50,7 +50,16 @@ _PHASES = (
 
 
 class Simulator:
-    """Advances registered components through the per-cycle phases."""
+    """Advances registered components through the per-cycle phases.
+
+    This is the ``reference`` engine of the :class:`repro.sim.SimulatorEngine`
+    protocol: the straightforward per-object loop every other subsystem is
+    validated against.  See :mod:`repro.sim.engine_api` for engine selection
+    and :mod:`repro.sim.fastcore` for the event-driven ``fast`` engine.
+    """
+
+    #: Engine registry name (see repro.sim.engine_api).
+    name = "reference"
 
     def __init__(self) -> None:
         self.cycle = 0

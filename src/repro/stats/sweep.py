@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SimulationConfig
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.engine import Simulator
+from repro.sim.engine_api import create_engine
 
 #: Relative tolerance for the declared-vs-configured injection-rate check.
 _RATE_TOLERANCE = 1e-9
@@ -120,7 +120,8 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
                    verify: bool = False,
                    oracle=None,
                    telemetry: bool = False,
-                   telemetry_observer=None) -> SweepPoint:
+                   telemetry_observer=None,
+                   engine: Optional[str] = None) -> SweepPoint:
     """Simulate already-built components through one measurement run.
 
     This is the single engine behind :func:`run_point`,
@@ -163,6 +164,10 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
             attach (overrides ``telemetry`` and the environment gate) —
             how ``repro-sim trace`` keeps the recording for export.  Must
             be constructed for this ``network``.
+        engine: Engine name (``reference``/``fast``) driving the cycle
+            loop; ``None``/empty falls through the selection precedence
+            (``REPRO_ENGINE`` environment variable, then the default) —
+            see :mod:`repro.sim.engine_api`.
 
     Returns:
         The measured :class:`SweepPoint`.  Oracle findings (if any) are in
@@ -181,7 +186,7 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
                 "source's configured rate",
                 declared=injection_rate, configured=configured)
 
-    simulator = Simulator()
+    simulator = create_engine(engine or None)
     stop_at = sim_config.warmup_cycles + sim_config.measure_cycles
     simulator.register(traffic)
     if injector is not None:

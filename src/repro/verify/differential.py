@@ -121,7 +121,8 @@ def run_scheme(spec: ExperimentSpec, mode: str = "record") -> SchemeResult:
     oracle = InvariantOracle(network, OracleConfig(mode=mode, journal=True))
     point = simulate_point(network, traffic, spec.sim,
                            injection_rate=spec.injection_rate,
-                           injector=injector, oracle=oracle)
+                           injector=injector, oracle=oracle,
+                           engine=spec.engine or None)
     families = {
         key[len("violation_"):]: value
         for key, value in network.stats.events.items()
@@ -149,7 +150,8 @@ def run_conformance(pattern: str = "uniform",
                     designs: Sequence[str] = DEFAULT_TRIAD,
                     mesh_side: int = 4,
                     sim: Optional[SimulationConfig] = None,
-                    mode: str = "record") -> DifferentialReport:
+                    mode: str = "record",
+                    engine: str = "") -> DifferentialReport:
     """Run one seeded experiment under every design and compare.
 
     All designs must share a topology family and size so the seeded
@@ -157,6 +159,11 @@ def run_conformance(pattern: str = "uniform",
     below every scheme's saturation point — conformance asserts that the
     complete traffic stream is delivered, which an overloaded run cannot
     do inside its drain window.
+
+    ``engine`` selects the :class:`~repro.sim.SimulatorEngine` every scheme
+    runs under ("" = the usual precedence).  Conformance across *engines*
+    is the same comparison with ``designs`` held fixed and this parameter
+    varied — the engine-parity test suite does exactly that.
     """
     if len(designs) < 2:
         raise ValueError("conformance needs at least two designs")
@@ -164,7 +171,7 @@ def run_conformance(pattern: str = "uniform",
     specs = [
         ExperimentSpec(design=design, pattern=pattern,
                        injection_rate=injection_rate, seed=seed,
-                       mesh_side=mesh_side, sim=sim)
+                       mesh_side=mesh_side, sim=sim, engine=engine)
         for design in designs
     ]
     results = [run_scheme(spec, mode=mode) for spec in specs]
@@ -187,10 +194,13 @@ def run_conformance(pattern: str = "uniform",
                 f"delivered multiset differs: {reference.design} vs "
                 f"{result.design}: "
                 + _multiset_diff(reference.delivered, result.delivered))
+    report_spec = {"pattern": pattern, "injection_rate": injection_rate,
+                   "seed": seed, "mesh_side": mesh_side,
+                   "designs": list(designs)}
+    if engine:
+        report_spec["engine"] = engine
     return DifferentialReport(
-        spec={"pattern": pattern, "injection_rate": injection_rate,
-              "seed": seed, "mesh_side": mesh_side,
-              "designs": list(designs)},
+        spec=report_spec,
         results=results,
         disagreements=disagreements,
     )

@@ -31,7 +31,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.config import NetworkConfig, SpinParams
 from repro.network.network import Network
-from repro.sim.engine import Simulator
+from repro.sim import create_engine
 from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 from repro.traffic.generator import SyntheticTraffic
@@ -50,15 +50,21 @@ class GoldenScenario:
     params: Dict[str, object]
     builder: Callable[[], Tuple[Network, object]]
 
-    def record(self, with_oracle: bool = True
+    def record(self, with_oracle: bool = True, engine: Optional[str] = None
                ) -> Tuple[TraceRecorder, Optional[InvariantOracle]]:
         """Simulate the scenario under a fresh recorder (and oracle).
 
         The oracle runs in raise mode: a golden scenario that trips an
         invariant is a bug regardless of what the digests say.
+
+        ``engine`` names the :class:`~repro.sim.SimulatorEngine` to drive
+        the scenario with (None = the usual precedence).  Fixtures are
+        engine-independent: every engine must reproduce them byte for byte,
+        which the engine-parity tests assert by replaying each scenario
+        under each engine against the same fixture.
         """
         network, traffic = self.builder()
-        simulator = Simulator()
+        simulator = create_engine(engine)
         if traffic is not None:
             simulator.register(traffic)
         simulator.register(network)

@@ -25,10 +25,11 @@ SIM = SimulationConfig(warmup_cycles=150, measure_cycles=450,
 
 
 class TestTriadAgreement:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
     @pytest.mark.parametrize("seed", [1, 2, 3])
-    def test_uniform_triad_agrees(self, seed):
+    def test_uniform_triad_agrees(self, seed, engine):
         report = run_conformance(pattern="uniform", injection_rate=0.10,
-                                 seed=seed, sim=SIM)
+                                 seed=seed, sim=SIM, engine=engine)
         assert report.agreed, report.summary()
         assert len(report.results) == len(DEFAULT_TRIAD)
         reference = report.results[0]
@@ -37,6 +38,21 @@ class TestTriadAgreement:
             assert result.violations == 0
             assert not result.wedged
             assert result.delivered == reference.delivered
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_engines_bit_identical_across_triad(self, seed):
+        """Reference and fast engines agree on every SweepPoint field —
+        the cross-engine axis of the differential harness."""
+        by_engine = {
+            engine: run_conformance(pattern="uniform", injection_rate=0.10,
+                                    seed=seed, sim=SIM, engine=engine)
+            for engine in ("reference", "fast")
+        }
+        ref, fast = by_engine["reference"], by_engine["fast"]
+        for ref_result, fast_result in zip(ref.results, fast.results):
+            assert ref_result.design == fast_result.design
+            assert ref_result.point.to_dict() == fast_result.point.to_dict()
+            assert ref_result.delivered == fast_result.delivered
 
     def test_transpose_triad_agrees(self):
         report = run_conformance(pattern="transpose", injection_rate=0.08,

@@ -42,15 +42,23 @@ def test_fixture_exists_and_is_wellformed(name):
     assert payload["spec"] == SCENARIOS[name].params
 
 
+@pytest.mark.parametrize("engine", ["reference", "fast"])
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_replay_matches_fixture(name):
-    """The load-bearing regression: re-simulate and compare every record."""
+def test_replay_matches_fixture(name, engine):
+    """The load-bearing regression: re-simulate and compare every record.
+
+    Parametrized over every engine: the fixtures are engine-independent,
+    so the fast core must reproduce each pinned trace byte for byte —
+    including the per-cycle observer records its idle-skipping must not
+    perturb.
+    """
     payload = load_fixture(_fixture_path(name))
-    recorder, oracle = SCENARIOS[name].record(with_oracle=True)
+    recorder, oracle = SCENARIOS[name].record(with_oracle=True,
+                                              engine=engine)
     assert oracle is not None and oracle.violation_count == 0
     if recorder.records != payload["records"]:
         pytest.fail(
-            f"golden trace {name!r} diverged "
+            f"golden trace {name!r} diverged under engine {engine!r} "
             f"(regenerate with `python -m repro.verify.golden` only if "
             f"the behaviour change is intentional):\n"
             + divergence_report(payload["records"], recorder.records))
