@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.core.fsm import SpinState
+from repro.core.fsm import FREEZABLE_STATES, SpinState
 from repro.core.messages import (
     KillMoveMessage,
     MoveMessage,
@@ -487,7 +487,7 @@ class SpinController:
                   path_index=move.hop_index)
         self.is_deadlock = True
         self.latched_source = move.sender
-        if self.state in (SpinState.OFF, SpinState.DD):
+        if self.state in FREEZABLE_STATES:
             self.state = SpinState.FROZEN
             self.deadline = move.spin_cycle
         self.framework.executor.register(vc)

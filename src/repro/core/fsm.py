@@ -37,3 +37,46 @@ INITIATOR_STATES = frozenset({
     SpinState.PROBE_MOVE,
     SpinState.KILL_MOVE,
 })
+
+#: States the move manager may interrupt into FROZEN when a move /
+#: probe_move freezes a VC here (``SpinController._freeze``); an initiator
+#: mid-recovery keeps its own state and only records the freeze token.
+FREEZABLE_STATES = frozenset({SpinState.OFF, SpinState.DD})
+
+#: The **atomic** transition relation: ``state -> states one controller
+#: handler call may move it to`` (paper Fig. 4a edges plus the defensive
+#: resets the implementation adds).  "Atomic" means a single handler —
+#: one SM reception, one executor callback, one watchdog/escape tick —
+#: which is the granularity the model checker
+#: (:mod:`repro.verify.model`) steps at and audits this table against.
+#: The per-cycle relation the runtime oracle checks
+#: (:data:`repro.verify.invariants.ILLEGAL_TRANSITIONS`) is strictly
+#: looser, because one cycle chains several handlers (a spin callback,
+#: then a batch of SM arrivals, then the tick).
+LEGAL_ATOMIC_TRANSITIONS = {
+    # Occupancy wakes the counter; _freeze defensively covers OFF too.
+    SpinState.OFF: frozenset({SpinState.DD, SpinState.FROZEN}),
+    # _go_off / _accept_own_probe / _freeze.
+    SpinState.DD: frozenset({
+        SpinState.OFF, SpinState.MOVE, SpinState.FROZEN,
+    }),
+    # Own move returned / kills (watchdog, rival latch, stale VC) /
+    # on_spin_complete-on_spin_aborted resets.
+    SpinState.MOVE: frozenset({
+        SpinState.FORWARD_PROGRESS, SpinState.KILL_MOVE, SpinState.DD,
+    }),
+    # Thaw by kill_move, overdue escape, spin completion.
+    SpinState.FROZEN: frozenset({SpinState.DD}),
+    # Spin complete (to PROBE_MOVE when the repeat-spin optimization is
+    # on), abort, overdue escape.
+    SpinState.FORWARD_PROGRESS: frozenset({
+        SpinState.DD, SpinState.PROBE_MOVE,
+    }),
+    # Own probe_move returned / kills / abort and spin resets.
+    SpinState.PROBE_MOVE: frozenset({
+        SpinState.FORWARD_PROGRESS, SpinState.KILL_MOVE, SpinState.DD,
+    }),
+    # Own kill returned or retries exhausted: _finish_recovery, whose
+    # pointer sweep may find no occupied VC and park the counter OFF.
+    SpinState.KILL_MOVE: frozenset({SpinState.DD, SpinState.OFF}),
+}

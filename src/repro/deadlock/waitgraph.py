@@ -90,6 +90,28 @@ def has_deadlock(network, now: int) -> bool:
     return bool(find_deadlocked_packets(network, now))
 
 
+def spin_persistence_bound(tdd: int, sm_rtt_bound: int) -> int:
+    """Cycles a true deadlock may persist under SPIN before it is a bug.
+
+    One recovery round costs at most ``tdd`` (countdown) plus a small
+    number of SM round trips (probe out-and-back, move out-and-back, then
+    either the spin or a kill round trip), each bounded by
+    ``sm_rtt_bound``; watchdog timeouts are themselves derived from that
+    same round-trip bound, so a lossy round also fits in it.  The factor 8
+    covers the protocol's worst case of back-to-back cancelled rounds
+    (rival initiators killing each other once per rotating-priority epoch)
+    before a round survives, and the additive margin absorbs
+    backoff-inflated retries and spin-cycle slack.
+
+    This is the single source of truth for the theory's recovery-latency
+    bound: the runtime oracle enforces it on live simulations
+    (``deadlock_persistence``) and the model checker cross-checks its
+    exhaustively-computed worst-case recovery path against it
+    (:mod:`repro.verify.model`).
+    """
+    return 8 * (tdd + sm_rtt_bound) + 512
+
+
 def deadlocked_vc_chain(network, now: int) -> List[VcKey]:
     """VC keys of all deadlocked packets (diagnostics and tests)."""
     uids = find_deadlocked_packets(network, now)

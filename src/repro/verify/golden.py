@@ -209,6 +209,48 @@ _register(
 )
 
 
+def _build_model_design(name: str) -> Callable[[], Tuple[Network, object]]:
+    """Builder for a model-checker design's planted-loop fabric.
+
+    The fabrics come from :mod:`repro.verify.model.designs` — the same
+    constructions ``cli model-check`` verifies exhaustively in the
+    abstract — so these fixtures pin the cycle-level behaviour of runs
+    the checker has proved deadlock-free and bounded.
+    """
+
+    def build() -> Tuple[Network, object]:
+        from repro.verify.model.designs import DESIGNS
+
+        seed = SCENARIOS[f"model_{name}_spin"].params["seed"]
+        return DESIGNS[name].build_network(seed=seed), None
+
+    return build
+
+
+_register(
+    "model_ring3_spin",
+    "3-router unidirectional ring with the model checker's planted loop "
+    "deadlock: the smallest fabric whose full SPIN control plane is "
+    "exhaustively verified (repro.verify.model), pinned concretely",
+    cycles=200,
+    params={"topology": "ring3-uni", "routing": "minadaptive", "tdd": 8,
+            "rate": 0.0, "seed": 3, "traffic_cycles": 0,
+            "model_design": "ring3"},
+    builder=_build_model_design("ring3"),
+)
+_register(
+    "model_mesh2x2_spin",
+    "2x2 mesh with the model checker's planted perimeter-loop deadlock: "
+    "the smallest mesh deadlock, exhaustively verified in the abstract "
+    "(repro.verify.model) and pinned concretely here",
+    cycles=200,
+    params={"topology": "mesh2x2", "routing": "minadaptive", "tdd": 8,
+            "rate": 0.0, "seed": 3, "traffic_cycles": 0,
+            "model_design": "mesh2x2"},
+    builder=_build_model_design("mesh2x2"),
+)
+
+
 def regenerate(out_dir, names=None) -> Dict[str, str]:
     """Write fixture files for the named (default: all) scenarios.
 

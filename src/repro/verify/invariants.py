@@ -19,7 +19,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Tuple
 
-from repro.core.fsm import SpinState
+from repro.core.fsm import (
+    INITIATOR_STATES,
+    LEGAL_ATOMIC_TRANSITIONS,
+    SpinState,
+)
 from repro.errors import InvariantViolation
 
 #: name -> one-line description of every invariant family the oracle checks.
@@ -222,11 +226,30 @@ def check_freeze_tokens(network, cycle: int) -> Iterator[InvariantViolation]:
                         router=router.id)
 
 
-#: Per-state sets of *provably unreachable* next states, including any
-#: composite transition a single cycle can produce (SM processing plus the
-#: counter tick).  Everything outside these sets is considered legal — the
-#: relation errs on the permissive side so the oracle never cries wolf on a
-#: rare-but-correct composite step.
+#: Per-handler (atomic) illegal transitions, derived from the FSM's own
+#: table: anything outside :data:`repro.core.fsm.LEGAL_ATOMIC_TRANSITIONS`.
+#: This is the relation the model checker enforces on every explored step
+#: (one step = one handler) and the strictest legality statement we can
+#: make; the runtime oracle cannot use it directly because it samples once
+#: per cycle.
+ATOMIC_ILLEGAL_TRANSITIONS: Dict[SpinState, frozenset] = {
+    state: frozenset(
+        other for other in SpinState
+        if other is not state
+        and other not in LEGAL_ATOMIC_TRANSITIONS[state])
+    for state in SpinState
+}
+
+#: Per-*cycle* sets of provably unreachable next states, including any
+#: composite transition a single cycle can produce (a spin/abort callback,
+#: then a priority-ordered batch of SM handlers, then the counter tick —
+#: :meth:`repro.core.framework.SpinFramework.phase_control` order).
+#: Everything outside these sets is considered legal — the relation errs
+#: on the permissive side so the oracle never cries wolf on a
+#: rare-but-correct composite step.  tests/unit/test_fsm_legality.py
+#: audits it two ways: it must be consistent with the atomic table above
+#: (nothing atomically legal may be cycle-illegal), and the model
+#: checker's exhaustively observed transitions must all be legal here.
 ILLEGAL_TRANSITIONS: Dict[SpinState, frozenset] = {
     SpinState.OFF: frozenset({
         SpinState.MOVE, SpinState.FORWARD_PROGRESS,
@@ -236,23 +259,32 @@ ILLEGAL_TRANSITIONS: Dict[SpinState, frozenset] = {
         SpinState.FORWARD_PROGRESS, SpinState.PROBE_MOVE,
         SpinState.KILL_MOVE,
     }),
+    # A thaw leaves the once-frozen VC occupied, so the pointer sweep that
+    # could park the counter OFF always finds a packet within the same
+    # cycle: FROZEN -> OFF is impossible.  (Same argument for MOVE /
+    # FORWARD_PROGRESS / PROBE_MOVE below: every in-cycle path of theirs
+    # to DD — spin, abort, escape — leaves at least one occupied VC
+    # behind.  KILL_MOVE -> OFF, by contrast, is real: the probed
+    # dependency may have drained mid-recovery, and _finish_recovery's
+    # pointer sweep then finds nothing.)
     SpinState.FROZEN: frozenset({
         SpinState.FORWARD_PROGRESS, SpinState.PROBE_MOVE,
-        SpinState.KILL_MOVE,
+        SpinState.KILL_MOVE, SpinState.OFF,
     }),
-    SpinState.MOVE: frozenset({SpinState.PROBE_MOVE}),
-    SpinState.FORWARD_PROGRESS: frozenset({SpinState.KILL_MOVE}),
+    SpinState.MOVE: frozenset({SpinState.PROBE_MOVE, SpinState.OFF}),
+    SpinState.FORWARD_PROGRESS: frozenset({
+        SpinState.KILL_MOVE, SpinState.OFF,
+    }),
     SpinState.KILL_MOVE: frozenset({
         SpinState.FORWARD_PROGRESS, SpinState.PROBE_MOVE,
     }),
-    SpinState.PROBE_MOVE: frozenset(),
+    SpinState.PROBE_MOVE: frozenset({SpinState.OFF}),
 }
 
-#: States that may only be held by the active recovery initiator.
-_INITIATOR_ONLY = frozenset({
-    SpinState.MOVE, SpinState.FORWARD_PROGRESS, SpinState.PROBE_MOVE,
-    SpinState.KILL_MOVE,
-})
+#: States that may only be held by the active recovery initiator — the
+#: FSM's own definition, re-exported under the name this module
+#: historically used.
+_INITIATOR_ONLY = INITIATOR_STATES
 
 
 def check_fsm_context(network, cycle: int) -> Iterator[InvariantViolation]:

@@ -1,0 +1,56 @@
+"""Explicit-state model checking of the SPIN control plane.
+
+See :mod:`repro.verify.model.state` for the abstraction,
+:mod:`repro.verify.model.transitions` for the successor relation,
+:mod:`repro.verify.model.properties` for the checked properties,
+:mod:`repro.verify.model.checker` for the BFS engine,
+:mod:`repro.verify.model.designs` for the checkable designs and
+:mod:`repro.verify.model.scenario` for the counterexample-to-golden-
+scenario pipeline.  Entry point: ``cli model-check``.
+"""
+
+from repro.verify.model.checker import (
+    CheckResult,
+    Counterexample,
+    ModelChecker,
+)
+from repro.verify.model.properties import (
+    PROPERTY_TO_INVARIANT,
+    ActionWeights,
+    LivenessReport,
+    PropertyViolation,
+)
+from repro.verify.model.state import (
+    NOBODY,
+    GlobalState,
+    Message,
+    RouterModel,
+    canonical,
+    initial_state,
+    project,
+)
+from repro.verify.model.transitions import (
+    MUTATIONS,
+    ModelConfig,
+    successors,
+)
+
+__all__ = [
+    "ActionWeights",
+    "CheckResult",
+    "Counterexample",
+    "GlobalState",
+    "LivenessReport",
+    "MUTATIONS",
+    "Message",
+    "ModelChecker",
+    "ModelConfig",
+    "NOBODY",
+    "PROPERTY_TO_INVARIANT",
+    "PropertyViolation",
+    "RouterModel",
+    "canonical",
+    "initial_state",
+    "project",
+    "successors",
+]

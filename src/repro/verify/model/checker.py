@@ -1,0 +1,247 @@
+"""Explicit-state BFS over the abstract SPIN control plane.
+
+:class:`ModelChecker` exhaustively enumerates every canonicalized global
+state reachable from the post-formation state (all counters armed on a
+deadlocked loop), checking the safety properties of
+:mod:`repro.verify.model.properties` on every transition.  Breadth-first
+order makes the first violation's trace a *minimal* counterexample.
+
+The explored graph is retained (states indexed densely, edges labeled
+with their action), which is what the bounded-liveness analysis, the
+soundness cross-check and the ``cli model-check`` state-space summary
+consume afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.verify.model.properties import (
+    ActionWeights,
+    LivenessReport,
+    PropertyViolation,
+    analyze_liveness,
+    check_transition,
+)
+from repro.verify.model.state import (
+    GlobalState,
+    canonical,
+    initial_state,
+    project,
+)
+from repro.verify.model.transitions import ModelConfig, successors
+
+#: Progress callback signature: (visited, frontier, depth).
+ProgressFn = Callable[[int, int, int], None]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A minimal violating run: alternating actions and global states.
+
+    ``trace[k] = (action, state)`` with ``trace[-1]`` the violating
+    transition.  Action labels name loop positions in the *pre-rotation*
+    frame of each step (states are stored canonicalized), which is enough
+    to read the protocol mistake off the trace.
+    """
+
+    violation: PropertyViolation
+    initial: GlobalState
+    trace: Tuple[Tuple[str, GlobalState], ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.trace)
+
+    def describe(self) -> str:
+        lines = [f"property {self.violation.prop} violated "
+                 f"({self.violation.detail}) after {self.depth} steps:"]
+        for step, (action, state) in enumerate(self.trace, 1):
+            routers = " ".join(
+                f"{r.fsm.name}{'*' if r.frozen_by >= 0 else ''}"
+                for r in state.routers)
+            flight = ",".join(f"{m.kind}@{m.at}" for m in state.messages)
+            lines.append(f"  {step:2d}. {action:34s} [{routers}]"
+                         + (f" inflight: {flight}" if flight else ""))
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """Everything one exhaustive run established."""
+
+    config: ModelConfig
+    visited: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+    complete: bool = True
+    counterexample: Optional[Counterexample] = None
+    liveness: Optional[LivenessReport] = None
+    #: Every (before, after) FSM state-name pair the protocol exhibited —
+    #: the checker's observed legality relation, which the fsm.py audit
+    #: tests compare against the invariant catalog.
+    fsm_transitions_seen: Set[Tuple[str, str]] = field(default_factory=set)
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    states: List[GlobalState] = field(default_factory=list)
+    edges: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+    def projections(self) -> Set[tuple]:
+        """Orientation-agnostic per-router projections of every state
+        (all rotations), the superset the soundness cross-check tests
+        concrete simulator states against."""
+        shapes: Set[tuple] = set()
+        for state in self.states:
+            for shift in range(state.size):
+                shapes.add(project(state.rotated(shift)))
+        return shapes
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready state-space summary (the CI artifact)."""
+        out: Dict[str, object] = {
+            "format": "repro.model-check/v1",
+            "loop_size": self.config.loop_size,
+            "probe_budget": self.config.probe_budget,
+            "drop_budget": self.config.drop_budget,
+            "initiators": self.config.initiators,
+            "probe_move": self.config.probe_move_enabled,
+            "mutation": self.config.mutation,
+            "visited_states": self.visited,
+            "transitions": self.transitions,
+            "max_depth": self.max_depth,
+            "complete": self.complete,
+            "ok": self.ok,
+            "action_counts": dict(sorted(self.action_counts.items())),
+            "fsm_transitions_seen": sorted(
+                list(pair) for pair in self.fsm_transitions_seen),
+        }
+        if self.counterexample is not None:
+            cex = self.counterexample
+            out["counterexample"] = {
+                "property": cex.violation.prop,
+                "invariant": cex.violation.invariant,
+                "detail": cex.violation.detail,
+                "depth": cex.depth,
+                "actions": [action for action, _ in cex.trace],
+            }
+        if self.liveness is not None:
+            live = self.liveness
+            out["liveness"] = {
+                "acyclic": live.acyclic,
+                "live": live.live,
+                "terminal_states": live.terminal_states,
+                "resolved_terminals": live.resolved_terminals,
+                "degraded_terminals": live.degraded_terminals,
+                "stuck_terminals": len(live.stuck_terminals),
+                "detection_steps": live.detection_steps,
+                "detection_cycles": live.detection_cycles,
+                "recovery_steps": live.recovery_steps,
+                "recovery_cycles": live.recovery_cycles,
+                "persistence_bound": live.persistence_bound,
+                "bounds_proved": live.bounds_proved,
+            }
+        return out
+
+
+class ModelChecker:
+    """BFS with rotation symmetry reduction and a frontier/visited store."""
+
+    def __init__(self, config: ModelConfig,
+                 weights: Optional[ActionWeights] = None,
+                 persistence_bound: Optional[int] = None) -> None:
+        self.config = config
+        self.weights = weights
+        self.persistence_bound = persistence_bound
+
+    def run(self, max_depth: Optional[int] = None,
+            max_states: Optional[int] = None,
+            progress: Optional[ProgressFn] = None,
+            progress_every: int = 1000) -> CheckResult:
+        config = self.config
+        result = CheckResult(config=config)
+        root = canonical(initial_state(
+            config.loop_size, probe_budget=config.probe_budget,
+            drop_budget=config.drop_budget, initiators=config.initiators))
+
+        index: Dict[GlobalState, int] = {root: 0}
+        result.states.append(root)
+        depth_of = [0]
+        parent: List[Optional[Tuple[int, str]]] = [None]
+        frontier: deque = deque([0])
+
+        while frontier:
+            src = frontier.popleft()
+            state = result.states[src]
+            depth = depth_of[src]
+            if max_depth is not None and depth >= max_depth:
+                result.complete = False
+                continue
+            for action, raw_next in successors(state, config):
+                result.transitions += 1
+                kind = action.split("@")[0]
+                result.action_counts[kind] = \
+                    result.action_counts.get(kind, 0) + 1
+                for before, after in zip(state.routers, raw_next.routers):
+                    if after.fsm is not before.fsm:
+                        result.fsm_transitions_seen.add(
+                            (before.fsm.name, after.fsm.name))
+                violations = check_transition(state, action, raw_next)
+                if violations:
+                    result.counterexample = self._reconstruct(
+                        result, parent, src, action, raw_next,
+                        violations[0])
+                    result.visited = len(result.states)
+                    result.max_depth = max(result.max_depth, depth + 1)
+                    return result
+                nxt = canonical(raw_next)
+                dst = index.get(nxt)
+                if dst is None:
+                    dst = len(result.states)
+                    index[nxt] = dst
+                    result.states.append(nxt)
+                    depth_of.append(depth + 1)
+                    parent.append((src, action))
+                    result.max_depth = max(result.max_depth, depth + 1)
+                    if max_states is not None \
+                            and len(result.states) >= max_states:
+                        result.complete = False
+                        result.visited = len(result.states)
+                        return result
+                    frontier.append(dst)
+                    if progress is not None \
+                            and dst % progress_every == 0:
+                        progress(len(result.states), len(frontier),
+                                 result.max_depth)
+                result.edges.append((src, dst, action))
+
+        result.visited = len(result.states)
+        if progress is not None:
+            progress(result.visited, 0, result.max_depth)
+        if result.complete and result.ok:
+            result.liveness = analyze_liveness(
+                result.edges, result.states, weights=self.weights,
+                persistence_bound=self.persistence_bound,
+                require_resolution=(config.initiators == 1
+                                    and config.drop_budget == 0))
+        return result
+
+    @staticmethod
+    def _reconstruct(result: CheckResult,
+                     parent: List[Optional[Tuple[int, str]]],
+                     src: int, action: str, violating: GlobalState,
+                     violation: PropertyViolation) -> Counterexample:
+        steps: List[Tuple[str, GlobalState]] = [(action, violating)]
+        node = src
+        while parent[node] is not None:
+            prev, label = parent[node]
+            steps.append((label, result.states[node]))
+            node = prev
+        steps.reverse()
+        return Counterexample(violation=violation,
+                              initial=result.states[0],
+                              trace=tuple(steps))

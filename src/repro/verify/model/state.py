@@ -1,0 +1,202 @@
+"""Abstract global states of the SPIN control plane.
+
+The model checker abstracts a deadlocked dependency loop of ``n`` routers
+(the paper's Fig. 2 cycle) and tracks, per loop position, only the state
+the control plane itself manipulates:
+
+* the SPIN counter-FSM state (:class:`repro.core.fsm.SpinState`);
+* whether the router's loop VC is frozen, and by which initiator;
+* the move-manager latch (``is_deadlock`` + ``latched_source``), collapsed
+  into one field: the latched initiator's loop index, or -1;
+* a detection budget — how many more probes this router may originate.
+  Successive probes of one router are at least ``tDD`` apart in real time,
+  so a finite budget is the step-bounded window the theory's
+  recovery-latency bound already assumes (its ``8 x (tDD + rtt)`` factor).
+
+Datapath state (packets, flits, credits) is abstracted away: the loop is
+deadlocked until a spin rotates it (``resolved``), and every loop VC holds
+exactly one fully-arrived packet whose unique request is the next loop
+edge.  Time is abstracted to interleavings: timers fire nondeterministically
+and a watchdog may only fire once the message it waits for is provably gone
+(timeouts exceed the round-trip bound, so a timeout implies a loss).
+
+In-flight special messages are a sorted tuple (a multiset — two identical
+retransmissions must not collapse into one).  ``hops`` counts recorded path
+ports for a probe and the hop index for the move family, mirroring
+:class:`repro.core.messages.PathFollowingMessage`.
+
+Canonicalization exploits the loop's rotational symmetry: the initial
+state is invariant under rotation, so every reachable state is explored
+once per rotation orbit (:func:`canonical`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Tuple
+
+from repro.core.fsm import SpinState
+
+#: Stable order of FSM states for encoding/decoding.
+STATE_ORDER: Tuple[SpinState, ...] = (
+    SpinState.OFF, SpinState.DD, SpinState.MOVE, SpinState.FROZEN,
+    SpinState.FORWARD_PROGRESS, SpinState.PROBE_MOVE, SpinState.KILL_MOVE,
+)
+
+#: No initiator (for ``frozen_by`` / ``latched``).
+NOBODY = -1
+
+
+@dataclass(frozen=True, order=True)
+class Message:
+    """One in-flight special message on the loop.
+
+    Attributes:
+        kind: ``"probe"``, ``"move"``, ``"probe_move"`` or ``"kill_move"``.
+        origin: Loop index of the initiator that emitted it.
+        at: Loop index of the router that will process it next.
+        hops: Ports recorded so far (probe) / hop index (move family).
+    """
+
+    kind: str
+    origin: int
+    at: int
+    hops: int
+
+    def rotated(self, shift: int, n: int) -> "Message":
+        return replace(self, origin=(self.origin - shift) % n,
+                       at=(self.at - shift) % n)
+
+
+@dataclass(frozen=True, order=True)
+class RouterModel:
+    """Control-plane state of one loop router.
+
+    Attributes:
+        fsm: SPIN counter-FSM state.
+        frozen_by: Loop index of the initiator whose token froze this
+            router's loop VC, or :data:`NOBODY`.
+        latched: ``latched_source`` as a loop index (:data:`NOBODY` when
+            ``is_deadlock`` is clear — the controller couples the two).
+        probes_left: Remaining detection budget.
+    """
+
+    fsm: SpinState = SpinState.DD
+    frozen_by: int = NOBODY
+    latched: int = NOBODY
+    probes_left: int = 1
+
+    def rotated(self, shift: int, n: int) -> "RouterModel":
+        def remap(owner: int) -> int:
+            return owner if owner == NOBODY else (owner - shift) % n
+        return replace(self, frozen_by=remap(self.frozen_by),
+                       latched=remap(self.latched))
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """One canonicalizable global state of the abstract control plane.
+
+    Attributes:
+        routers: Per-loop-position router states.
+        messages: In-flight SMs, kept sorted (multiset semantics).
+        drops_left: Remaining adversarial SM-loss budget.
+        resolved: A spin has rotated the loop; the deadlock is gone.
+    """
+
+    routers: Tuple[RouterModel, ...]
+    messages: Tuple[Message, ...] = ()
+    drops_left: int = 0
+    resolved: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.routers)
+
+    def with_router(self, index: int, router: RouterModel) -> "GlobalState":
+        routers = list(self.routers)
+        routers[index] = router
+        return replace(self, routers=tuple(routers))
+
+    def with_messages(self, messages: Iterable[Message]) -> "GlobalState":
+        return replace(self, messages=tuple(sorted(messages)))
+
+    def rotated(self, shift: int) -> "GlobalState":
+        """This state with loop position ``shift`` moved to position 0."""
+        n = self.size
+        routers = tuple(self.routers[(i + shift) % n].rotated(shift, n)
+                        for i in range(n))
+        messages = tuple(sorted(m.rotated(shift, n) for m in self.messages))
+        return replace(self, routers=routers, messages=messages)
+
+    def __hash__(self) -> int:  # dataclass-generated eq, explicit hash
+        return hash((self.routers, self.messages, self.drops_left,
+                     self.resolved))
+
+
+def initial_state(size: int, probe_budget: int = 1, drop_budget: int = 0,
+                  initiators: int = None) -> GlobalState:
+    """The post-formation state: every loop router detecting (DD).
+
+    The concrete controller leaves OFF the first cycle a VC is occupied,
+    so the deadlocked loop starts with all counters armed.  ``initiators``
+    restricts the detection budget to the first ``k`` loop routers —
+    ``initiators=1`` is the single-recovery mode the liveness bounds are
+    proved in (the paper's rotating priority guarantees one surviving
+    initiator per round; the model pins that winner instead of modeling
+    the rotation).  ``None`` arms everyone: the multi-initiator race mode
+    the safety properties are checked under.
+    """
+    armed = size if initiators is None else max(0, min(initiators, size))
+    routers = tuple(
+        RouterModel(fsm=SpinState.DD,
+                    probes_left=probe_budget if i < armed else 0)
+        for i in range(size))
+    return GlobalState(routers=routers, drops_left=drop_budget)
+
+
+def canonical(state: GlobalState) -> GlobalState:
+    """The lexicographically-least rotation of ``state``.
+
+    The abstract loop is rotation-symmetric (every action commutes with
+    rotating all loop indices), so exploring only canonical representatives
+    cuts the state space by up to a factor of ``n`` without losing
+    reachability or violating any property — all checked properties are
+    rotation-invariant.
+    """
+    best = state
+    best_key = _sort_key(state)
+    for shift in range(1, state.size):
+        candidate = state.rotated(shift)
+        key = _sort_key(candidate)
+        if key < best_key:
+            best, best_key = candidate, key
+    return best
+
+
+def _sort_key(state: GlobalState):
+    return (
+        tuple((STATE_ORDER.index(r.fsm), r.frozen_by, r.latched,
+               r.probes_left) for r in state.routers),
+        tuple((m.kind, m.origin, m.at, m.hops) for m in state.messages),
+    )
+
+
+def project(state: GlobalState) -> Tuple[Tuple[str, bool, str], ...]:
+    """Orientation-agnostic per-router projection for soundness checks.
+
+    Collapses each router to ``(fsm name, frozen?, latch kind)`` where the
+    latch kind is ``"-"`` (none), ``"self"`` or ``"other"`` — the shape a
+    concrete simulator state can be projected onto without knowing which
+    loop rotation (or orientation) the abstract model used.
+    """
+    out = []
+    for i, r in enumerate(state.routers):
+        if r.latched == NOBODY:
+            latch = "-"
+        elif r.latched == i:
+            latch = "self"
+        else:
+            latch = "other"
+        out.append((r.fsm.name, r.frozen_by != NOBODY, latch))
+    return tuple(out)

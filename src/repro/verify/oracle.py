@@ -42,7 +42,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.deadlock.waitgraph import find_deadlocked_packets
+from repro.deadlock.waitgraph import (
+    find_deadlocked_packets,
+    spin_persistence_bound,
+)
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.verify.invariants import (
     ILLEGAL_TRANSITIONS,
@@ -179,7 +182,7 @@ class InvariantOracle:
         spin = self.network.spin
         if spin is None:
             return None
-        return 8 * (spin.params.tdd + spin.sm_rtt_bound) + 512
+        return spin_persistence_bound(spin.params.tdd, spin.sm_rtt_bound)
 
     def _auto_deadlock_bound(self) -> Optional[int]:
         """Derive the deadlock-persistence bound from the attached theory.

@@ -1,0 +1,105 @@
+"""Counterexample round-trip: every abstract violation fails concretely.
+
+The model checker's verdicts are only trustworthy if its counterexamples
+correspond to real failures: for each protocol mutation, the checker's
+minimal abstract counterexample is converted into a concrete replay
+(:mod:`repro.verify.model.scenario`) that inflicts the same mistake on
+the design's planted-loop fabric under the reference simulator — and the
+runtime invariant oracle must report the *same invariant family* the
+abstract property maps onto.  The unmutated replay must stay spotless
+(specificity), and the pinned fixtures under tests/fixtures/model/ must
+keep telling the same story (regeneration guard).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import pytest
+
+from repro.verify.model import MUTATIONS, ModelChecker, PROPERTY_TO_INVARIANT
+from repro.verify.model.designs import DESIGNS
+from repro.verify.model.scenario import (
+    FIXTURE_FORMAT,
+    INTERVENTIONS,
+    load_fixture,
+    scenario_from_counterexample,
+)
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "fixtures", "model")
+ROUNDTRIP_DESIGNS = ("ring3", "mesh2x2")
+
+
+@functools.lru_cache(maxsize=None)
+def _counterexample_scenario(design_name: str, mutation: str):
+    design = DESIGNS[design_name]
+    result = ModelChecker(
+        design.model_config(mutation=mutation),
+        weights=design.weights(),
+        persistence_bound=design.persistence_bound(),
+    ).run(max_states=50_000)
+    assert result.counterexample is not None, (design_name, mutation)
+    return scenario_from_counterexample(result, design, mutation)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    @pytest.mark.parametrize("design_name", ROUNDTRIP_DESIGNS)
+    def test_counterexample_replays_concretely(self, design_name, mutation):
+        scenario = _counterexample_scenario(design_name, mutation)
+        outcome = scenario.replay()
+        assert outcome.intervention_fired_at is not None, (
+            "the scripted intervention never reached its trigger scene")
+        assert outcome.tripped(scenario.expected_invariant), (
+            f"abstract violation of {scenario.counterexample.violation.prop}"
+            f" should trip {scenario.expected_invariant} concretely, "
+            f"got {outcome.families}")
+
+    @pytest.mark.parametrize("design_name", ROUNDTRIP_DESIGNS)
+    def test_unmutated_replay_is_clean(self, design_name):
+        scenario = _counterexample_scenario(
+            design_name, "freeze_ignores_state_guard")
+        outcome = scenario.replay_clean()
+        assert outcome.families == ()
+        assert outcome.delivered == scenario.design.loop_size
+
+    def test_interventions_cover_all_mutations(self):
+        assert set(INTERVENTIONS) == set(MUTATIONS)
+
+    def test_property_map_is_total_and_distinct(self):
+        families = set(PROPERTY_TO_INVARIANT.values())
+        assert len(families) == len(PROPERTY_TO_INVARIANT)
+
+
+class TestFixtures:
+    def _fixture_names(self):
+        return sorted(name for name in os.listdir(FIXTURE_DIR)
+                      if name.endswith(".json"))
+
+    def test_fixture_per_design_mutation_pair(self):
+        expected = {f"cex_{design}_{mutation}.json"
+                    for design in ROUNDTRIP_DESIGNS
+                    for mutation in MUTATIONS}
+        assert set(self._fixture_names()) == expected
+
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    @pytest.mark.parametrize("design_name", ROUNDTRIP_DESIGNS)
+    def test_fixture_matches_fresh_derivation(self, design_name, mutation):
+        """The pinned abstract trace still matches what the checker finds
+        (BFS over a canonicalized space is deterministic), and its mapped
+        invariant is still the family the replay must trip."""
+        path = os.path.join(FIXTURE_DIR,
+                            f"cex_{design_name}_{mutation}.json")
+        payload = load_fixture(path)
+        assert payload["format"] == FIXTURE_FORMAT
+        scenario = _counterexample_scenario(design_name, mutation)
+        cex = scenario.counterexample
+        assert payload["property"] == cex.violation.prop
+        assert payload["expected_invariant"] == scenario.expected_invariant
+        assert payload["expected_invariant"] \
+            == PROPERTY_TO_INVARIANT[payload["property"]]
+        assert payload["depth"] == cex.depth
+        assert [step["action"] for step in payload["trace"]] \
+            == [action for action, _ in cex.trace]

@@ -1,0 +1,170 @@
+"""Audit of the two FSM legality relations against each other and the
+model checker.
+
+PR 8's audit of ``repro.core.fsm`` split legality into two relations:
+
+* :data:`repro.core.fsm.LEGAL_ATOMIC_TRANSITIONS` — what one *handler*
+  may do (the granularity the model checker steps at);
+* :data:`repro.verify.invariants.ILLEGAL_TRANSITIONS` — what a whole
+  *cycle* may never produce, deliberately permissive because one cycle
+  chains an executor callback, a priority-ordered SM batch, and the
+  counter tick into composite transitions.
+
+These tests pin the consistency contract between them, the audit's
+concrete outcome (the freeze guard), and the checker-facing derivation
+:data:`repro.verify.invariants.ATOMIC_ILLEGAL_TRANSITIONS`.
+"""
+
+import pytest
+
+from repro.config import SpinParams
+from repro.core.fsm import (
+    FREEZABLE_STATES,
+    INITIATOR_STATES,
+    LEGAL_ATOMIC_TRANSITIONS,
+    SpinState,
+)
+from repro.core.messages import MoveMessage
+from repro.sim.engine import Simulator
+from repro.verify.invariants import (
+    ATOMIC_ILLEGAL_TRANSITIONS,
+    ILLEGAL_TRANSITIONS,
+)
+from repro.verify.model import ModelChecker
+from repro.verify.model.designs import DESIGNS
+
+from tests.conftest import craft_ring_deadlock, make_ring_network
+
+
+class TestCatalogConsistency:
+    def test_every_state_covered(self):
+        assert set(LEGAL_ATOMIC_TRANSITIONS) == set(SpinState)
+        assert set(ILLEGAL_TRANSITIONS) == set(SpinState)
+        assert set(ATOMIC_ILLEGAL_TRANSITIONS) == set(SpinState)
+
+    def test_atomic_illegal_is_exact_complement(self):
+        for state in SpinState:
+            legal = LEGAL_ATOMIC_TRANSITIONS[state]
+            illegal = ATOMIC_ILLEGAL_TRANSITIONS[state]
+            assert legal & illegal == frozenset()
+            assert legal | illegal | {state} == frozenset(SpinState)
+
+    def test_nothing_atomically_legal_is_cycle_illegal(self):
+        """A single legal handler step is also a legal cycle (the cycle
+        that happens to run only that handler), so the per-cycle catalog
+        must be a subset of the atomic one."""
+        for state in SpinState:
+            overlap = LEGAL_ATOMIC_TRANSITIONS[state] \
+                & ILLEGAL_TRANSITIONS[state]
+            assert not overlap, (
+                f"{state.name}: {sorted(s.name for s in overlap)} atomic-"
+                f"legal yet cycle-illegal — the catalogs contradict")
+
+    def test_self_loops_never_listed(self):
+        for state in SpinState:
+            assert state not in LEGAL_ATOMIC_TRANSITIONS[state]
+            assert state not in ILLEGAL_TRANSITIONS[state]
+
+    def test_audited_off_transitions(self):
+        """The audit's conclusion: only DD and KILL_MOVE may park the
+        counter OFF within one cycle (every other state's in-cycle path
+        to DD leaves an occupied VC behind)."""
+        may_go_off = {state for state in SpinState
+                      if state is not SpinState.OFF
+                      and SpinState.OFF not in ILLEGAL_TRANSITIONS[state]}
+        assert may_go_off == {SpinState.DD, SpinState.KILL_MOVE}
+
+    def test_initiator_states_unchanged(self):
+        assert INITIATOR_STATES == frozenset({
+            SpinState.MOVE, SpinState.FORWARD_PROGRESS,
+            SpinState.PROBE_MOVE, SpinState.KILL_MOVE})
+        assert FREEZABLE_STATES == frozenset({SpinState.OFF, SpinState.DD})
+
+
+class TestCheckerAgreesWithCatalogs:
+    @pytest.fixture(scope="class")
+    def race_result(self):
+        design = DESIGNS["ring3"]
+        return ModelChecker(
+            design.model_config(),
+            weights=design.weights(),
+            persistence_bound=design.persistence_bound(),
+        ).run(max_states=50_000)
+
+    def test_observed_transitions_atomically_legal(self, race_result):
+        assert race_result.complete and race_result.ok
+        for before, after in race_result.fsm_transitions_seen:
+            assert SpinState[after] in \
+                LEGAL_ATOMIC_TRANSITIONS[SpinState[before]], (before, after)
+
+    def test_observed_transitions_cycle_legal(self, race_result):
+        for before, after in race_result.fsm_transitions_seen:
+            assert SpinState[after] not in \
+                ILLEGAL_TRANSITIONS[SpinState[before]], (before, after)
+
+    def test_exhaustive_space_exercises_the_fsm(self, race_result):
+        reached = {SpinState[b] for b, _ in race_result.fsm_transitions_seen} \
+            | {SpinState[a] for _, a in race_result.fsm_transitions_seen}
+        assert {SpinState.DD, SpinState.MOVE, SpinState.FROZEN,
+                SpinState.FORWARD_PROGRESS,
+                SpinState.KILL_MOVE} <= reached
+
+
+class TestFreezeGuardRegression:
+    """The audit's fix: ``_freeze`` may move the FSM only from a
+    freezable state — a move SM landing on a rival initiator freezes the
+    *VC* but must not clobber the rival's FSM (the silently-permitted
+    MOVE -> FROZEN the model checker flagged)."""
+
+    def _frozen_scene(self):
+        network = make_ring_network(m=4, spin=SpinParams(tdd=8))
+        craft_ring_deadlock(network)
+        simulator = Simulator()
+        simulator.register(network)
+        simulator.run(3)  # countdown armed, everyone in DD
+        return network
+
+    @pytest.mark.parametrize("state", sorted(
+        (s for s in SpinState if s not in FREEZABLE_STATES),
+        key=lambda s: s.name))
+    def test_freeze_keeps_non_freezable_state(self, state):
+        network = self._frozen_scene()
+        controller = network.spin.controllers[1]
+        controller.state = state
+        inport, index = controller.pointer or (1, 0)
+        vc = controller.router.inports[inport][index]
+        move = MoveMessage(sender=3, send_cycle=5, path=(0,),
+                           spin_cycle=60, hop_index=2)
+        controller._freeze(vc, move, now=10)
+        assert vc.frozen and vc.freeze_source == 3
+        assert controller.state is state
+        assert controller.latched_source == 3
+
+    @pytest.mark.parametrize("state", sorted(FREEZABLE_STATES,
+                                             key=lambda s: s.name))
+    def test_freeze_advances_freezable_state(self, state):
+        network = self._frozen_scene()
+        controller = network.spin.controllers[1]
+        controller.state = state
+        inport, index = controller.pointer or (1, 0)
+        vc = controller.router.inports[inport][index]
+        move = MoveMessage(sender=3, send_cycle=5, path=(0,),
+                           spin_cycle=60, hop_index=2)
+        controller._freeze(vc, move, now=10)
+        assert controller.state is SpinState.FROZEN
+        assert controller.deadline == 60
+
+    def test_mutated_model_reproduces_the_original_bug(self):
+        """With the guard-skipping mutation re-applied in the abstract,
+        the checker still finds the atomic MOVE -> FROZEN counterexample
+        — the regression stays caught end to end."""
+        design = DESIGNS["ring3"]
+        result = ModelChecker(
+            design.model_config(mutation="freeze_ignores_state_guard"),
+            weights=design.weights(),
+            persistence_bound=design.persistence_bound(),
+        ).run(max_states=50_000)
+        cex = result.counterexample
+        assert cex is not None
+        assert cex.violation.prop == "fsm_legality"
+        assert "MOVE -> FROZEN" in cex.violation.detail
