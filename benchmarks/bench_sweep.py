@@ -7,7 +7,7 @@ leg produces *identical* points — and writes a ``BENCH_sweep.json``
 record::
 
     {
-      "schema": "repro.bench-sweep/v2",
+      "schema": "repro.bench-sweep/v3",
       "design": ..., "pattern": ..., "rates": [...], "jobs": N,
       "points": n, "cycles": total-simulated-cycles,
       "serial":   {"wall_time_s": ..., "cycles_per_sec": ..., "points_per_sec": ...},
@@ -30,8 +30,21 @@ record::
         "enabled": {...},               # TelemetryObserver recording each point
         "enabled_overhead_pct": ...,    # cycles/sec cost of recording
         "points_match_ignoring_telemetry_events": true
+      },
+      "profile": {                      # phase profiler (repro.profile/v1)
+        "rate": ...,                    # the mid-sweep point it profiles
+        "engines": {
+          "reference": {"report": {...}, "off_wall_s": [a, b],
+                        "off_repeat_delta_pct": ..., "enabled_overhead_pct": ...,
+                        "identical_points": true},
+          "fast": {...}                 # same shape, incl. skip counters
+        }
       }
     }
+
+Each invocation also *appends* the full record to ``BENCH_history.jsonl``
+(``repro.bench-history/v1``, one line per run) so the perf trajectory
+across PRs stays diffable even though ``BENCH_sweep.json`` is overwritten.
 
 The ``telemetry.disabled`` leg re-times the serial path with the telemetry
 plumbing in place but the flag off (no observer is registered, so the hot
@@ -73,7 +86,8 @@ from repro.config import SimulationConfig
 from repro.harness.parallel import ParallelRunner
 from repro.harness.runner import ExperimentSpec
 
-BENCH_SCHEMA = "repro.bench-sweep/v2"
+BENCH_SCHEMA = "repro.bench-sweep/v3"
+HISTORY_SCHEMA = "repro.bench-history/v1"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "fast engine's event-driven regime)")
     parser.add_argument("--output", default="BENCH_sweep.json",
                         metavar="FILE.json")
+    parser.add_argument("--history", default=None, metavar="FILE.jsonl",
+                        help="append-only perf trajectory (default: "
+                             "BENCH_history.jsonl next to --output)")
     return parser
 
 
@@ -209,6 +226,50 @@ def main(argv=None) -> int:
             == serial_points),
     }
 
+    # Profile leg: the phase profiler on one mid-sweep point, per engine.
+    # Two profiler-off runs bound the timing noise floor; the profiler-on
+    # run must reproduce the exact same point (profiling never perturbs
+    # simulation — the schedule is only wrapped when a profiler attaches).
+    from repro.sim import PhaseProfiler
+
+    profile_spec = specs[len(specs) // 2]
+    profile_engines = {}
+    profile_identical = True
+    for engine_name in ("reference", "fast"):
+        engine_spec = replace(profile_spec, engine=engine_name)
+        off_points = []
+        off_walls = []
+        for _ in range(2):
+            started = time.perf_counter()
+            _, point = engine_spec.run()
+            off_walls.append(time.perf_counter() - started)
+            off_points.append(point)
+        profiler = PhaseProfiler()
+        started = time.perf_counter()
+        _, on_point = engine_spec.run(profiler=profiler)
+        on_wall = time.perf_counter() - started
+        report = profiler.report(engine_name, on_point.cycles,
+                                 wall_seconds=on_wall)
+        identical = (on_point == off_points[0]
+                     and off_points[0] == off_points[1])
+        profile_identical = profile_identical and identical
+        off_floor = min(off_walls)
+        profile_engines[engine_name] = {
+            "report": report,
+            "off_wall_s": [round(wall, 4) for wall in off_walls],
+            "off_repeat_delta_pct": (
+                round(abs(off_walls[0] - off_walls[1]) / off_floor * 100.0,
+                      2) if off_floor > 0 else None),
+            "enabled_overhead_pct": (
+                round((on_wall - off_floor) / off_floor * 100.0, 2)
+                if off_floor > 0 else None),
+            "identical_points": identical,
+        }
+    profile_record = {
+        "rate": profile_spec.injection_rate,
+        "engines": profile_engines,
+    }
+
     record = {
         "schema": BENCH_SCHEMA,
         "design": base.design,
@@ -233,10 +294,19 @@ def main(argv=None) -> int:
         "fast_engine": fast_record,
         "idle_skip": idle_record,
         "telemetry": telemetry_record,
+        "profile": profile_record,
     }
     Path(args.output).write_text(json.dumps(record, indent=2,
                                             sort_keys=True) + "\n")
+    history_path = (Path(args.history) if args.history else
+                    Path(args.output).with_name("BENCH_history.jsonl"))
+    entry = {"schema": HISTORY_SCHEMA, "recorded_unix": int(time.time()),
+             "bench": record}
+    with open(history_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True,
+                                separators=(",", ":")) + "\n")
     print(json.dumps(record, indent=2, sort_keys=True))
+    print(f"appended history record to {history_path}", file=sys.stderr)
     if not identical:
         print("ERROR: serial and parallel points diverged", file=sys.stderr)
         return 1
@@ -251,6 +321,10 @@ def main(argv=None) -> int:
     if not telemetry_record["points_match_ignoring_telemetry_events"]:
         print("ERROR: telemetry-enabled points diverged beyond the "
               "telemetry_* event counters", file=sys.stderr)
+        return 1
+    if not profile_identical:
+        print("ERROR: profiler-on run diverged from profiler-off runs",
+              file=sys.stderr)
         return 1
     return 0
 

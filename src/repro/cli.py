@@ -149,12 +149,17 @@ def cmd_run(args) -> int:
     get_design(args.design)  # fail fast with the full list on a typo
     _validate_run_args(args)
     dragonfly = _parse_dragonfly(args.dragonfly)
+    profiler = None
+    if getattr(args, "profile", False):
+        from repro.sim import PhaseProfiler
+
+        profiler = PhaseProfiler()
     network, point = run_design(
         args.design, args.pattern, args.rate, _sim_config(args),
         seed=args.seed, mesh_side=args.mesh_side, dragonfly=dragonfly,
         tdd=args.tdd, faults=args.faults, fault_seed=args.fault_seed,
         verify=args.verify, telemetry=args.telemetry,
-        engine=args.engine or "")
+        engine=args.engine or "", profiler=profiler)
     rows = [
         ["offered load (flits/node/cycle)", args.rate],
         ["mean latency (cycles)", round(point.mean_latency, 2)],
@@ -187,6 +192,13 @@ def cmd_run(args) -> int:
     print(format_table(
         ["Metric", "Value"], rows,
         title=f"{args.design} / {args.pattern} @ {args.rate}"))
+    if profiler is not None:
+        from repro.sim import render_report
+        from repro.sim.engine_api import resolve_engine_name
+
+        engine_name = resolve_engine_name(args.engine or None)
+        print()
+        print(render_report(profiler.report(engine_name, point.cycles)))
     return 0
 
 
@@ -298,7 +310,8 @@ def cmd_sweep(args) -> int:
             jobs=args.jobs,
             retry=RetryPolicy(retries=args.retries),
             max_failures=args.max_failures,
-            hang_timeout=args.hang_timeout))
+            hang_timeout=args.hang_timeout,
+            stream=not args.no_stream))
     report = engine.run()
     rows = [
         [p.injection_rate, round(p.mean_latency, 1), round(p.throughput, 4),
@@ -498,6 +511,48 @@ def _topology_meta(network) -> dict:
     return meta
 
 
+def _trace_campaign(args) -> int:
+    """Convert a campaign's ``stream.jsonl`` into trace artifacts.
+
+    The campaign-level twin of the single-run trace: worker telemetry
+    frames become a Chrome trace (one thread per worker, one slice per
+    point) plus a normalized JSONL copy of the frames.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import (
+        read_stream_log,
+        stream_chrome_trace,
+        stream_summary,
+    )
+    from repro.telemetry.live import STREAM_LOG_NAME
+
+    log_path = Path(args.campaign) / STREAM_LOG_NAME
+    frames = read_stream_log(log_path)
+    if not frames:
+        raise ConfigurationError(
+            f"no stream frames in {log_path}; the campaign must have run "
+            "with the live plane enabled (drop --no-stream)",
+            campaign=args.campaign)
+    jsonl_path = f"{args.output}.jsonl"
+    chrome_path = f"{args.output}.chrome.json"
+    with open(jsonl_path, "w", encoding="utf-8") as handle:
+        for frame in frames:
+            handle.write(json.dumps(frame, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+    with open(chrome_path, "w", encoding="utf-8") as handle:
+        json.dump(stream_chrome_trace(frames), handle, sort_keys=True)
+        handle.write("\n")
+    summary = stream_summary(frames)
+    print(f"campaign stream: {summary['frames']} frames from "
+          f"{len(summary['workers'])} worker(s) over "
+          f"{len(summary['points'])} point(s)")
+    print(f"wrote {jsonl_path} ({len(frames)} frames)")
+    print(f"wrote {chrome_path}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Record one run under telemetry; emit JSONL + Chrome trace files."""
     import json
@@ -510,6 +565,8 @@ def cmd_trace(args) -> int:
         write_jsonl,
     )
 
+    if args.campaign:
+        return _trace_campaign(args)
     if args.interval < 1:
         raise ConfigurationError("--interval must be >= 1",
                                  interval=args.interval)
@@ -585,12 +642,25 @@ def cmd_trace(args) -> int:
 
 
 def cmd_report(args) -> int:
-    """Summarize a recorded telemetry log (spans, hot links, wedges)."""
+    """Summarize a telemetry log — or a whole campaign directory."""
+    from pathlib import Path
+
     from repro.telemetry import TraceReport
 
     if args.top_links < 1:
         raise ConfigurationError("--top-links must be >= 1",
                                  top_links=args.top_links)
+    path = Path(args.trace)
+    if path.is_dir():
+        if not (path / "manifest.json").exists():
+            raise ConfigurationError(
+                f"{path} is a directory but has no manifest.json — "
+                "pass a TRACE.jsonl file or a campaign directory",
+                trace=args.trace)
+        from repro.telemetry.watch import render_campaign_report
+
+        sys.stdout.write(render_campaign_report(path))
+        return 0
     report = TraceReport.load(args.trace)
     print(report.render(top_links=args.top_links))
     return 0
@@ -614,6 +684,125 @@ def cmd_area(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    """Live plain-ANSI dashboard over a campaign's ``status.json``.
+
+    ``--once`` renders a single frame (the CI smoke path); otherwise the
+    screen refreshes every ``--interval`` seconds until the campaign
+    reaches a terminal status or the user hits Ctrl-C.
+    """
+    import time
+
+    from repro.telemetry.watch import load_status, render_watch
+
+    if args.interval <= 0:
+        raise ConfigurationError("--interval must be positive",
+                                 interval=args.interval)
+    if args.once:
+        sys.stdout.write(render_watch(args.directory))
+        return 0
+    try:
+        while True:
+            frame = render_watch(args.directory)
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+            sys.stdout.flush()
+            status = load_status(args.directory)
+            if status is not None and status.get("status") != "running":
+                print(f"\ncampaign {status.get('status')}; exiting watch")
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def cmd_serve_metrics(args) -> int:
+    """Prometheus text exposition over a campaign's ``status.json``."""
+    from repro.telemetry.prometheus import serve
+
+    if args.port < 0 or args.port > 65535:
+        raise ConfigurationError("--port must be in [0, 65535]",
+                                 port=args.port)
+    return serve(args.directory, port=args.port, once=args.once)
+
+
+def cmd_profile(args) -> int:
+    """Phase-profile one design point under each engine and compare.
+
+    Runs the same spec per engine with an attached
+    :class:`repro.sim.profile.PhaseProfiler`, prints each phase table,
+    and cross-checks that the profiled points are identical (profiling
+    must never perturb simulation; engines are bit-identical).
+    """
+    import time
+
+    from repro.harness.runner import ExperimentSpec
+    from repro.sim import PhaseProfiler, PROFILE_SCHEMA, render_report
+    from repro.sim.engine_api import resolve_engine_name
+    from repro.sim.profile import write_report
+
+    get_design(args.design)  # fail fast with the full list on a typo
+    _validate_run_args(args)
+    engines_text = args.engines or args.engine or "reference,fast"
+    engines = [name.strip() for name in engines_text.split(",")
+               if name.strip()]
+    known = available_engines()
+    for name in engines:
+        if name not in known:
+            raise ConfigurationError(f"unknown engine {name!r}",
+                                     known=sorted(known))
+    if not engines:
+        raise ConfigurationError("--engines must name at least one engine")
+
+    reports = {}
+    fingerprints = {}
+    for name in engines:
+        spec = ExperimentSpec(
+            design=args.design, pattern=args.pattern,
+            injection_rate=args.rate, seed=args.seed,
+            mesh_side=args.mesh_side,
+            dragonfly=_parse_dragonfly(args.dragonfly), tdd=args.tdd,
+            faults=args.faults, fault_seed=args.fault_seed,
+            sim=_sim_config(args), verify=args.verify,
+            telemetry=args.telemetry, engine=name)
+        profiler = PhaseProfiler()
+        start = time.perf_counter()
+        _, point = spec.run(profiler=profiler)
+        wall = time.perf_counter() - start
+        report = profiler.report(resolve_engine_name(name), point.cycles,
+                                 wall_seconds=wall)
+        reports[resolve_engine_name(name)] = report
+        fingerprints[name] = (point.delivered, point.cycles,
+                              round(point.mean_latency, 9),
+                              point.events.get("spins", 0))
+        print(render_report(report))
+        print()
+    agreed = len(set(fingerprints.values())) <= 1
+    if agreed:
+        delivered, cycles, _, spins = next(iter(fingerprints.values()))
+        print(f"engines agree on the profiled point "
+              f"(delivered={delivered} cycles={cycles} spins={spins})")
+    else:
+        print("WARNING: engines disagreed on the profiled point — "
+              "engines are bit-identical, so this is a bug:")
+        for name, fingerprint in fingerprints.items():
+            print(f"  {name}: delivered/cycles/latency/spins = "
+                  f"{fingerprint}")
+    if args.output:
+        payload = {
+            "schema": PROFILE_SCHEMA,
+            "design": resolve_design_name(args.design),
+            "pattern": args.pattern,
+            "rate": args.rate,
+            "seed": args.seed,
+            "identical_points": agreed,
+            "reports": reports,
+        }
+        write_report(args.output, payload)
+        print(f"wrote {args.output}")
+    return 0 if agreed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SPIN (ISCA 2018) reproduction toolkit")
@@ -625,6 +814,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(run_parser)
     run_parser.add_argument("--rate", type=float, required=True,
                             help="offered load in flits/node/cycle")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="attach the phase profiler and print a "
+                            "repro.profile/v1 phase breakdown after the "
+                            "metrics (never changes results; "
+                            "docs/OBSERVE.md)")
 
     sweep_parser = sub.add_parser(
         "sweep",
@@ -664,6 +858,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="kill and respawn a worker whose point "
                               "exceeds this wall-clock budget (counts as "
                               "a transient failure; default: off)")
+    sweep_parser.add_argument("--no-stream", action="store_true",
+                              help="disable the live observability plane "
+                              "(no status.json/stream.jsonl in the "
+                              "campaign directory); sweep results are "
+                              "byte-identical either way "
+                              "(docs/OBSERVE.md)")
 
     verify_parser = sub.add_parser(
         "verify",
@@ -710,13 +910,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--output", default="trace", metavar="PREFIX",
                               help="writes PREFIX.jsonl and "
                               "PREFIX.chrome.json (default: %(default)s)")
+    trace_parser.add_argument("--campaign", default=None, metavar="DIR",
+                              help="instead of simulating, convert DIR's "
+                              "stream.jsonl (live worker telemetry) into "
+                              "PREFIX.jsonl + PREFIX.chrome.json")
 
     report_parser = sub.add_parser(
         "report",
         help="summarize a recorded telemetry log: SPIN episodes, hot "
         "links, wedge timeline, occupancy heatmap")
-    report_parser.add_argument("trace", metavar="TRACE.jsonl",
-                               help="JSONL log written by `trace`")
+    report_parser.add_argument("trace", metavar="TRACE.jsonl|CAMPAIGN_DIR",
+                               help="JSONL log written by `trace`, or a "
+                               "campaign directory (journal table + "
+                               "stream aggregates)")
     report_parser.add_argument("--top-links", type=int, default=8,
                                help="hot links to list "
                                "(default: %(default)s)")
@@ -772,6 +978,52 @@ def build_parser() -> argparse.ArgumentParser:
     area_parser.add_argument("--depth", type=int, default=5)
     area_parser.add_argument("--flit-bits", type=int, default=128)
     area_parser.add_argument("--routers", type=int, default=64)
+
+    watch_parser = sub.add_parser(
+        "watch",
+        help="live dashboard for a running (or finished) campaign "
+        "directory: progress, worker health, saturation cursor "
+        "(docs/OBSERVE.md)")
+    watch_parser.add_argument("directory", metavar="CAMPAIGN_DIR",
+                              help="campaign directory (sweep --campaign)")
+    watch_parser.add_argument("--once", action="store_true",
+                              help="render one frame and exit (scripting "
+                              "and CI smoke)")
+    watch_parser.add_argument("--interval", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="seconds between refreshes "
+                              "(default: %(default)s)")
+
+    serve_parser = sub.add_parser(
+        "serve-metrics",
+        help="Prometheus text exposition of a campaign's live status "
+        "(stdlib HTTP server at /metrics, or --once to stdout)")
+    serve_parser.add_argument("directory", metavar="CAMPAIGN_DIR",
+                              help="campaign directory (sweep --campaign)")
+    serve_parser.add_argument("--once", action="store_true",
+                              help="print one exposition to stdout and "
+                              "exit (the CI lint path)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="HTTP port (default: ephemeral)")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="per-phase wall-time breakdown of the simulation kernel "
+        "for one design point, per engine (repro.profile/v1; "
+        "docs/OBSERVE.md)")
+    _add_run_args(profile_parser)
+    profile_parser.add_argument("--rate", type=float, default=0.1,
+                                help="offered load in flits/node/cycle "
+                                "(default: %(default)s)")
+    profile_parser.add_argument("--engines", default=None,
+                                metavar="NAMES",
+                                help="comma-separated engines to profile "
+                                "(default: --engine if given, else "
+                                "'reference,fast')")
+    profile_parser.add_argument("--output", default=None,
+                                metavar="FILE.json",
+                                help="write the per-engine "
+                                "repro.profile/v1 reports as JSON")
     return parser
 
 
@@ -786,6 +1038,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "model-check": cmd_model_check,
         "area": cmd_area,
+        "watch": cmd_watch,
+        "serve-metrics": cmd_serve_metrics,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -46,6 +46,7 @@ from repro.harness.supervision import (
     RetryPolicy,
     SupervisedPool,
     classify_failure,
+    error_class,
     run_attempt,
 )
 from repro.stats.results import atomic_write_text
@@ -234,7 +235,16 @@ def load_manifest(directory: Union[str, Path]
 # ----------------------------------------------------------------------
 @dataclass
 class CampaignConfig:
-    """Execution policy for one campaign run."""
+    """Execution policy for one campaign run.
+
+    ``stream`` controls the live observability plane
+    (:mod:`repro.telemetry.live`): when True *and* the campaign has a
+    directory, workers stream progress frames to the supervisor, which
+    maintains a rolling ``status.json`` next to the journal for
+    ``cli watch`` / ``cli serve-metrics``.  Streaming is observation
+    only — result artifacts, journal records and content keys are
+    byte-identical with it on or off (``--no-stream``).
+    """
 
     jobs: int = 1
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -242,6 +252,7 @@ class CampaignConfig:
     hang_timeout: Optional[float] = None
     poll_interval: float = 0.05
     latency_cap: float = 4.0
+    stream: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -345,6 +356,7 @@ class CampaignEngine:
         self.counters: Dict[str, int] = {}
         self._drain = False
         self._signal: Optional[int] = None
+        self._plane = None
 
     # ------------------------------------------------------------------
     # Run
@@ -360,7 +372,9 @@ class CampaignEngine:
         pending = [i for i, r in enumerate(results) if r is None]
         self._drain = False
         self._signal = None
+        self._plane = self._start_plane(results)
         previous = self._install_signal_handlers()
+        status = "error"
         try:
             if pending:
                 if self.config.jobs == 1:
@@ -373,6 +387,9 @@ class CampaignEngine:
             self._restore_signal_handlers(previous)
             if journal is not None:
                 journal.close()
+            if self._plane is not None:
+                self._plane.stop(status)
+                self._plane = None
         points, saturation, clean = assemble_curve(
             results, self.config.latency_cap)
         if self.registry is not None:
@@ -382,6 +399,48 @@ class CampaignEngine:
         return CampaignReport(results=results, points=points,
                               saturation_rate=saturation, status=status,
                               clean=clean, counters=dict(self.counters))
+
+    # ------------------------------------------------------------------
+    # Live observability plane
+    # ------------------------------------------------------------------
+    def _start_plane(self, results: List[Optional[SpecResult]]):
+        """Start the live status plane (directory campaigns only).
+
+        Failure to start degrades to an unobserved campaign — the plane
+        can never take a sweep down with it.
+        """
+        if self.directory is None or not self.config.stream:
+            return None
+        from repro.telemetry.live import DEFAULT_HANG_AFTER, LiveStatusPlane
+
+        plane = LiveStatusPlane(
+            self.directory,
+            keys=self.keys,
+            rates=[spec.injection_rate for spec in self.specs],
+            hang_after=self.config.hang_timeout or DEFAULT_HANG_AFTER,
+            max_failures=self.config.max_failures,
+            latency_cap=self.config.latency_cap,
+        )
+        plane.start()
+        resumed = [(self.keys[i], r.point)
+                   for i, r in enumerate(results)
+                   if r is not None and r.ok]
+        if resumed:
+            plane.mark_resumed([key for key, _ in resumed],
+                               dict(resumed))
+        return plane
+
+    def _notify_done(self, key: str, result: SpecResult) -> None:
+        if self._plane is not None:
+            self._plane.point_done(
+                key, result.ok, point=result.point,
+                wall_time=result.wall_time,
+                error_class=(None if result.ok
+                             else error_class(result.error)))
+
+    def _notify_retry(self, key: str, attempt: int) -> None:
+        if self._plane is not None:
+            self._plane.point_retry(key, attempt)
 
     # ------------------------------------------------------------------
     # Journal replay (resume)
@@ -441,14 +500,17 @@ class CampaignEngine:
                 if result.ok:
                     self._journal(journal, ok_record(key, attempt, result))
                     results[index] = result
+                    self._notify_done(key, result)
                     break
                 if self._retryable(result, attempt):
                     self._bump("retries")
+                    self._notify_retry(key, attempt)
                     time.sleep(self.config.retry.delay(key, attempt))
                     attempt += 1
                     continue
                 self._journal(journal, failed_record(key, attempt, result))
                 results[index] = result
+                self._notify_done(key, result)
                 failures += 1
                 self._bump("failures_permanent")
                 if self._budget_exhausted(failures):
@@ -466,7 +528,9 @@ class CampaignEngine:
         pool = SupervisedPool(max_workers=config.jobs,
                               hang_timeout=config.hang_timeout,
                               poll_interval=config.poll_interval,
-                              counters=self.counters)
+                              counters=self.counters,
+                              stream=(self._plane.aggregator
+                                      if self._plane is not None else None))
         pool.start()
         status = "completed"
         failures = len([r for r in results if r is not None and not r.ok])
@@ -510,9 +574,11 @@ class CampaignEngine:
                         self._journal(journal,
                                       ok_record(key, attempt, result))
                         results[index] = result
+                        self._notify_done(key, result)
                         continue
                     if not halted and self._retryable(result, attempt):
                         self._bump("retries")
+                        self._notify_retry(key, attempt)
                         attempts[index] = attempt + 1
                         ready = (time.monotonic()
                                  + self.config.retry.delay(key, attempt))
@@ -521,6 +587,7 @@ class CampaignEngine:
                     self._journal(journal,
                                   failed_record(key, attempt, result))
                     results[index] = result
+                    self._notify_done(key, result)
                     failures += 1
                     self._bump("failures_permanent")
                     if self._budget_exhausted(failures):

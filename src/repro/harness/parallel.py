@@ -40,10 +40,36 @@ BACKENDS = ("process", "serial")
 
 
 def _execute_spec(spec: ExperimentSpec):
-    """Worker entry point: simulate one spec (module-level: picklable)."""
+    """Worker entry point: simulate one spec (module-level: picklable).
+
+    Participates in live streaming when ``REPRO_STREAM_SOCKET`` is in the
+    inherited environment (see :mod:`repro.telemetry.live`): the point is
+    bracketed by start/end frames and a progress sink is installed, all
+    observation-only.
+    """
+    from repro.telemetry import live
+
+    shipper = live.ensure_worker_shipper()
+    key = spec.content_key() if shipper is not None else None
+    if shipper is not None:
+        total = (spec.sim.warmup_cycles + spec.sim.measure_cycles
+                 + spec.sim.drain_cycles)
+        shipper.point_start(key, spec.injection_rate, total)
+        live.set_progress_sink(shipper)
     started = time.perf_counter()
-    _, point = spec.run()
-    return point, time.perf_counter() - started
+    try:
+        _, point = spec.run()
+    except BaseException:
+        if shipper is not None:
+            live.set_progress_sink(None)
+            shipper.point_end(key, False,
+                              time.perf_counter() - started)
+        raise
+    wall = time.perf_counter() - started
+    if shipper is not None:
+        live.set_progress_sink(None)
+        shipper.point_end(key, True, wall, events=point.events)
+    return point, wall
 
 
 @dataclass

@@ -152,8 +152,13 @@ class ExperimentSpec:
                                      seed=self.fault_seed)
         return network, traffic, injector
 
-    def run(self, raise_on_wedge: bool = False):
-        """Simulate this point; returns ``(network, SweepPoint)``."""
+    def run(self, raise_on_wedge: bool = False, profiler=None):
+        """Simulate this point; returns ``(network, SweepPoint)``.
+
+        ``profiler`` optionally attaches a
+        :class:`repro.sim.profile.PhaseProfiler` to the engine; profiling
+        never changes the simulated point (docs/OBSERVE.md).
+        """
         network, traffic, injector = self.build()
         point = simulate_point(network, traffic, self.sim,
                                injection_rate=self.injection_rate,
@@ -161,7 +166,8 @@ class ExperimentSpec:
                                raise_on_wedge=raise_on_wedge,
                                verify=self.verify,
                                telemetry=self.telemetry,
-                               engine=self.engine or None)
+                               engine=self.engine or None,
+                               profiler=profiler)
         return network, point
 
     def effective_engine(self) -> str:
@@ -287,7 +293,8 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
                fault_seed: int = 0,
                verify: bool = False,
                telemetry: bool = False,
-               engine: str = ""):
+               engine: str = "",
+               profiler=None):
     """Run one design at one load; returns (network, SweepPoint).
 
     Thin wrapper over :class:`ExperimentSpec` kept for convenience and
@@ -306,7 +313,7 @@ def run_design(design_name: str, pattern_name: str, injection_rate: float,
         mesh_side=mesh_side, dragonfly=dragonfly, mix=mix, tdd=tdd,
         faults=faults, fault_seed=fault_seed, verify=verify,
         telemetry=telemetry, engine=engine)
-    return spec.run()
+    return spec.run(profiler=profiler)
 
 
 def latency_curve(design_name: str, pattern_name: str, rates: List[float],

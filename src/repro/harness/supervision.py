@@ -126,21 +126,47 @@ def run_attempt(spec: ExperimentSpec, attempt: int = 0) -> SpecResult:
     ``REPRO_CHAOS`` is set), then simulates with the same failure capture
     the :class:`~repro.harness.parallel.ParallelRunner` serial backend
     uses.
+
+    When live streaming is active (``REPRO_STREAM_SOCKET`` published by a
+    campaign's :class:`~repro.telemetry.live.LiveStatusPlane`), the
+    attempt is bracketed by ``point_start``/``point_end`` frames and a
+    progress sink is installed for the duration — all observation-only
+    and dropped rather than ever blocking the simulation.
     """
     from repro.harness.chaos import chaos_from_env
+    from repro.telemetry import live
 
+    shipper = live.ensure_worker_shipper()
+    key = spec.content_key() if shipper is not None else None
+    if shipper is not None:
+        total = (spec.sim.warmup_cycles + spec.sim.measure_cycles
+                 + spec.sim.drain_cycles)
+        shipper.point_start(key, spec.injection_rate, total, attempt)
+        live.set_progress_sink(shipper)
     started = time.perf_counter()
     try:
         policy = chaos_from_env()
         if policy is not None:
+            if shipper is not None:
+                shipper.event("chaos_consulted", attempt=attempt)
             policy.inject(spec.content_key(), attempt)
         _, point = spec.run()
     except Exception:
-        return SpecResult(spec, None,
-                          error="worker raised:\n" + traceback.format_exc(),
-                          wall_time=time.perf_counter() - started)
-    return SpecResult(spec, point,
-                      wall_time=time.perf_counter() - started)
+        result = SpecResult(spec, None,
+                            error="worker raised:\n"
+                            + traceback.format_exc(),
+                            wall_time=time.perf_counter() - started)
+    else:
+        result = SpecResult(spec, point,
+                            wall_time=time.perf_counter() - started)
+    finally:
+        if shipper is not None:
+            live.set_progress_sink(None)
+    if shipper is not None:
+        shipper.point_end(key, result.ok, result.wall_time,
+                          events=(result.point.events
+                                  if result.point is not None else None))
+    return result
 
 
 def _worker_main(task_queue, result_queue) -> None:
@@ -163,6 +189,11 @@ def _worker_main(task_queue, result_queue) -> None:
             # workers notice the reparenting and exit on their own.
             if os.getppid() != supervisor:
                 return
+            from repro.telemetry import live
+
+            shipper = live.ensure_worker_shipper()
+            if shipper is not None:
+                shipper.heartbeat()  # idle liveness for the status plane
             continue
         except (EOFError, OSError):  # pragma: no cover - parent died
             return
@@ -199,12 +230,20 @@ class SupervisedPool:
         poll_interval: Supervisor polling granularity in seconds.
         counters: Optional dict that receives ``workers_respawned`` /
             ``workers_hung`` tallies (shared with the campaign engine).
+        stream: Optional :class:`~repro.telemetry.live.StreamAggregator`
+            receiving supervisor-side health notifications — dispatch
+            attribution (``worker_dispatched``), corpses (``worker_dead``)
+            and hangs (``worker_hung``).  Dispatch/death attribution is
+            supervisor-side on purpose: a worker that dies between
+            dispatch and its first heartbeat is still classified *dead*
+            (never hung) with its last-known point.
     """
 
     def __init__(self, max_workers: int,
                  hang_timeout: Optional[float] = None,
                  poll_interval: float = 0.05,
-                 counters: Optional[Dict[str, int]] = None) -> None:
+                 counters: Optional[Dict[str, int]] = None,
+                 stream=None) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1",
                                      max_workers=max_workers)
@@ -218,6 +257,7 @@ class SupervisedPool:
         self.hang_timeout = hang_timeout
         self.poll_interval = poll_interval
         self.counters = counters if counters is not None else {}
+        self.stream = stream
         self._context = multiprocessing.get_context()
         self._workers: Dict[int, multiprocessing.process.BaseProcess] = {}
         #: pid -> that worker's private task queue
@@ -355,6 +395,8 @@ class SupervisedPool:
                 continue
             task_id, attempt, spec = self._backlog.popleft()
             self._assignments[pid] = (task_id, attempt, time.monotonic())
+            if self.stream is not None:
+                self.stream.worker_dispatched(pid, spec.content_key())
             self._worker_queues[pid].put((task_id, attempt, spec))
 
     @staticmethod
@@ -391,6 +433,14 @@ class SupervisedPool:
             del self._workers[pid]
             self._assignments.pop(pid, None)
             stale_queue = self._worker_queues.pop(pid, None)
+            if self.stream is not None:
+                # Dead wins over hung: the supervisor saw the corpse, so a
+                # worker that died before its first heartbeat is reported
+                # dead with its last-known (dispatched) point.
+                if dead:
+                    self.stream.worker_dead(pid)
+                else:
+                    self.stream.worker_hung(pid)
             if hung:
                 self._kill(process)
                 self._bump("workers_hung")
@@ -414,4 +464,6 @@ class SupervisedPool:
                     out.append((task_id, attempt,
                                 SpecResult(current[1], None, error=error)))
             self._bump("workers_respawned")
+            if self.stream is not None:
+                self.stream.worker_respawned()
             self._spawn_worker()

@@ -11,15 +11,27 @@ from repro.sim.engine_api import (
     create_engine,
     resolve_engine_name,
 )
+from repro.sim.profile import (
+    PROFILE_ENV,
+    PROFILE_SCHEMA,
+    PhaseProfiler,
+    profiler_from_env,
+    render_report,
+)
 
 __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_ENV_VAR",
+    "PROFILE_ENV",
+    "PROFILE_SCHEMA",
     "DeterministicRng",
+    "PhaseProfiler",
     "Simulator",
     "SimulatorEngine",
     "available_engines",
     "build_simulation_loop",
     "create_engine",
+    "profiler_from_env",
+    "render_report",
     "resolve_engine_name",
 ]

@@ -65,6 +65,7 @@ class Simulator:
         self.cycle = 0
         self._components: List[object] = []
         self._observers: List[object] = []
+        self._profiler = None
         # Resolved (component, bound method) pairs per phase, built lazily so
         # the hot loop does not pay getattr costs every cycle.
         self._schedule = None
@@ -87,6 +88,28 @@ class Simulator:
         self._observers.append(observer)
         self._schedule = None
 
+    def attach_profiler(self, profiler):
+        """Attach a :class:`repro.sim.profile.PhaseProfiler` (or detach
+        with ``None``).
+
+        Profiling is applied when the schedule is (re)built: each phase's
+        bound-method list is fused into one timed closure.  With no
+        profiler attached the schedule is exactly the unprofiled one, so
+        the hot loop pays nothing when profiling is off.
+        """
+        self._profiler = profiler
+        self._schedule = None
+        return profiler
+
+    def _wrap_schedule(self, schedule):
+        if self._profiler is None:
+            return schedule
+        prefix = len("phase_")
+        return [
+            [self._profiler.wrap_phase(phase[prefix:], bound)]
+            for phase, bound in zip(_PHASES, schedule)
+        ]
+
     def _build_schedule(self):
         schedule = []
         for phase in _PHASES:
@@ -101,7 +124,7 @@ class Simulator:
                 if hasattr(observer, phase)
             )
             schedule.append(bound)
-        return schedule
+        return self._wrap_schedule(schedule)
 
     def step(self) -> None:
         """Simulate exactly one cycle."""

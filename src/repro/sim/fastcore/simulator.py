@@ -266,7 +266,7 @@ class FastSimulator(Simulator):
                 if hasattr(observer, phase)
             )
             schedule.append(bound)
-        return schedule
+        return self._wrap_schedule(schedule)
 
     # ------------------------------------------------------------------
     # Event sink (called from Network.note_vc_* and NIC.enqueue)
@@ -385,12 +385,14 @@ class FastSimulator(Simulator):
             self._c_any_dirty = True
             self._r_any_dirty = True
         c_due = self._c_due
+        ticked = 0
         if full_cycle:
             for i, controller in enumerate(fw.controllers):
                 c_dirty[i] = 0
                 controller.tick(cycle)
                 c_due[i] = _ctrl_due(controller, cycle)
                 r_dirty[i] = 1
+            ticked = len(fw.controllers)
             self._r_any_dirty = True
             self._c_any_dirty = 1 in c_dirty
             self._c_min_due = min(c_due)
@@ -405,8 +407,13 @@ class FastSimulator(Simulator):
                 # without firing datapath events.
                 r_dirty[i] = 1
                 self._r_any_dirty = True
+                ticked += 1
             self._c_any_dirty = 1 in c_dirty
             self._c_min_due = min(c_due)
+        if self._profiler is not None:
+            self._profiler.count("controller_ticks", ticked)
+            self._profiler.count("controller_ticks_skipped",
+                                 len(fw.controllers) - ticked)
         if fw._outbox:
             fw._resolve_outbox(cycle)
 
@@ -481,17 +488,26 @@ class FastSimulator(Simulator):
             # No router can grant or change its decision this cycle; only
             # the rotation pointer advances (as it would over 64 no-ops).
             net._allocation_offset = (offset + 1) % count
+            if self._profiler is not None:
+                self._profiler.count("alloc_cycles_skipped")
+                self._profiler.count("router_cycles_skipped", count)
             return
         routers = net.routers
         r_dirty = self._r_dirty
         r_wake = self._r_wake
+        ran = 0
         for i in range(count):
             rid = (i + offset) % count
             if r_dirty[rid] or cycle >= r_wake[rid]:
                 self._router_cycle(routers[rid], rid, cycle)
+                ran += 1
         net._allocation_offset = (offset + 1) % count
         self._r_any_dirty = 1 in r_dirty
         self._r_min_wake = min(r_wake)
+        if self._profiler is not None:
+            self._profiler.count("alloc_cycles_run")
+            self._profiler.count("router_cycles_run", ran)
+            self._profiler.count("router_cycles_skipped", count - ran)
 
     def _router_cycle(self, router, rid: int, cycle: int) -> None:
         """One allocation cycle: replica of Router.allocate + wake analysis.
@@ -687,6 +703,9 @@ class FastSimulator(Simulator):
             if self._quiescent(self.cycle):
                 # Every remaining cycle is a no-op for every component:
                 # land exactly where the reference loop would.
+                if self._profiler is not None:
+                    self._profiler.count("cycles_fast_forwarded",
+                                         end - self.cycle)
                 self.cycle = end
                 self._net.now = end
                 return

@@ -1,0 +1,156 @@
+"""Phase profiler for the simulation engines (``repro.profile/v1``).
+
+Answers "where do the cycles go?" for both engines: per-phase wall time
+for the reference :class:`~repro.sim.engine.Simulator` schedule, plus
+fast-core counters (router cycles actually run vs skipped, controller
+ticks, cycles fast-forwarded through quiescence) for
+:class:`~repro.sim.fastcore.FastSimulator`.
+
+Overhead contract: the profiler costs *nothing* when detached.  The
+engine wraps its phase schedule with timing closures only at
+schedule-build time and only when a profiler is attached
+(:meth:`~repro.sim.engine.Simulator.attach_profiler`); with no profiler
+the built schedule is exactly the pre-profiler one, and fast-core
+counter sites are guarded by a single ``is not None`` check on paths
+that already do real work.  The ``profile`` leg in
+``benchmarks/bench_sweep.py`` guards this the way the telemetry leg
+guards observer overhead.
+
+Enable per-call (``simulate_point(..., profiler=...)``, ``cli profile``,
+``cli run --profile``) or ambiently via ``REPRO_PROFILE=1``, which
+prints a one-line phase summary to stderr after every point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, Iterable, List, Optional
+
+#: Version tag of profile reports.
+PROFILE_SCHEMA = "repro.profile/v1"
+
+#: Environment toggle: truthy values attach a profiler to every
+#: ``simulate_point`` call and print a summary line to stderr.
+PROFILE_ENV = "REPRO_PROFILE"
+
+_FALSEY = {"", "0", "off", "false", "no"}
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall time, call counts, and counters.
+
+    One instance may span several runs (e.g. warmup + measure + drain of
+    one point, or a whole sweep) — times and counts accumulate.
+    """
+
+    def __init__(self) -> None:
+        self.phase_seconds: Dict[str, float] = {}
+        self.phase_calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    def wrap_phase(self, name: str, bound_methods: Iterable) -> object:
+        """Fuse a phase's bound methods into one timed callable.
+
+        The engine swaps this in for the phase's method list when the
+        schedule is built with a profiler attached; each invocation adds
+        the phase's wall time and one call.
+        """
+        methods = tuple(bound_methods)
+        seconds = self.phase_seconds
+        calls = self.phase_calls
+        seconds.setdefault(name, 0.0)
+        calls.setdefault(name, 0)
+        perf = time.perf_counter
+
+        def timed_phase(cycle: int) -> None:
+            start = perf()
+            for method in methods:
+                method(cycle)
+            seconds[name] += perf() - start
+            calls[name] += 1
+
+        return timed_phase
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter (fast-core skip/run accounting)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def report(self, engine: str, cycles: int,
+               wall_seconds: Optional[float] = None) -> Dict[str, object]:
+        """One ``repro.profile/v1`` record for this accumulation."""
+        total = sum(self.phase_seconds.values())
+        phases = {}
+        for name in sorted(self.phase_seconds):
+            seconds = self.phase_seconds[name]
+            phases[name] = {
+                "seconds": round(seconds, 6),
+                "calls": self.phase_calls.get(name, 0),
+                "share": round(seconds / total, 4) if total > 0 else 0.0,
+            }
+        return {
+            "schema": PROFILE_SCHEMA,
+            "engine": engine,
+            "cycles": cycles,
+            "phase_seconds_total": round(total, 6),
+            "wall_seconds": (round(wall_seconds, 6)
+                             if wall_seconds is not None else None),
+            "phases": phases,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+def profiler_from_env(env: Optional[Dict[str, str]] = None
+                      ) -> Optional[PhaseProfiler]:
+    """A fresh profiler when ``REPRO_PROFILE`` is truthy, else ``None``."""
+    value = (env if env is not None else os.environ).get(PROFILE_ENV, "")
+    if value.strip().lower() in _FALSEY:
+        return None
+    return PhaseProfiler()
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable phase table for one profile report."""
+    lines: List[str] = []
+    lines.append(f"engine={report['engine']}  cycles={report['cycles']}  "
+                 f"phase-time={report['phase_seconds_total']:.4f}s")
+    lines.append(f"{'phase':<12} {'seconds':>10} {'share':>7} {'calls':>10}")
+    lines.append("-" * 42)
+    for name, row in report.get("phases", {}).items():
+        lines.append(f"{name:<12} {row['seconds']:>10.4f} "
+                     f"{row['share'] * 100:>6.1f}% {row['calls']:>10}")
+    counters = report.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<28} {'value':>12}")
+        lines.append("-" * 42)
+        for name, value in counters.items():
+            lines.append(f"{name:<28} {value:>12}")
+    return "\n".join(lines)
+
+
+def summary_line(report: Dict[str, object]) -> str:
+    """One-line phase summary (the ``REPRO_PROFILE=1`` stderr format)."""
+    parts = [f"{name}={row['share'] * 100:.0f}%"
+             for name, row in report.get("phases", {}).items()]
+    return (f"[profile] engine={report['engine']} "
+            f"cycles={report['cycles']} "
+            f"phase-time={report['phase_seconds_total']:.3f}s "
+            + " ".join(parts))
+
+
+def emit_env_summary(report: Dict[str, object]) -> None:
+    """Print the env-mode summary line to stderr (never raises)."""
+    try:
+        print(summary_line(report), file=sys.stderr)
+    except OSError:  # pragma: no cover - stderr gone
+        pass
+
+
+def write_report(path: str, payload: Dict[str, object]) -> None:
+    """Write a profile payload as stable, diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

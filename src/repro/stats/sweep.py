@@ -121,7 +121,8 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
                    oracle=None,
                    telemetry: bool = False,
                    telemetry_observer=None,
-                   engine: Optional[str] = None) -> SweepPoint:
+                   engine: Optional[str] = None,
+                   profiler=None) -> SweepPoint:
     """Simulate already-built components through one measurement run.
 
     This is the single engine behind :func:`run_point`,
@@ -168,6 +169,12 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
             loop; ``None``/empty falls through the selection precedence
             (``REPRO_ENGINE`` environment variable, then the default) —
             see :mod:`repro.sim.engine_api`.
+        profiler: A :class:`~repro.sim.profile.PhaseProfiler` to attach
+            to the engine for this point.  Independently, the
+            ``REPRO_PROFILE`` environment variable attaches a fresh
+            profiler to every run and prints a one-line phase summary to
+            stderr (docs/OBSERVE.md).  Profiling never changes the
+            measured point.
 
     Returns:
         The measured :class:`SweepPoint`.  Oracle findings (if any) are in
@@ -187,6 +194,13 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
                 declared=injection_rate, configured=configured)
 
     simulator = create_engine(engine or None)
+    env_profiler = None
+    if profiler is None:
+        from repro.sim.profile import profiler_from_env
+
+        profiler = env_profiler = profiler_from_env()
+    if profiler is not None:
+        simulator.attach_profiler(profiler)
     stop_at = sim_config.warmup_cycles + sim_config.measure_cycles
     simulator.register(traffic)
     if injector is not None:
@@ -226,6 +240,12 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
     simulator.run(sim_config.warmup_cycles)
     network.reset_link_utilization()
 
+    from repro.telemetry.live import progress_sink
+
+    sink = progress_sink()
+    total_cycles = (sim_config.warmup_cycles + sim_config.measure_cycles
+                    + sim_config.drain_cycles)
+
     wedged = False
     remaining = sim_config.measure_cycles + sim_config.drain_cycles
     abort_after = sim_config.deadlock_abort_cycles
@@ -234,6 +254,10 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
         step = min(chunk, remaining)
         simulator.run(step)
         remaining -= step
+        if sink is not None:
+            # Live-streaming progress sink (repro.telemetry.live): one
+            # throttled, observation-only frame per wedge-poll chunk.
+            sink.update(simulator.cycle, total_cycles, network)
         if (
             abort_after
             and network.idle_cycles() > abort_after
@@ -248,6 +272,11 @@ def simulate_point(network, traffic, sim_config: SimulationConfig,
 
     if telemetry_observer is not None:
         telemetry_observer.finalize(simulator.cycle)
+    if env_profiler is not None:
+        from repro.sim.profile import emit_env_summary
+
+        emit_env_summary(env_profiler.report(simulator.name,
+                                             simulator.cycle))
     return SweepPoint(
         injection_rate=injection_rate,
         wedged=wedged,

@@ -18,6 +18,12 @@ simulator-observer hook, but *recording* instead of asserting.  Layers
 * :mod:`repro.telemetry.campaign` — campaign durability counters
   (resumes, retries, worker respawns) mirrored from
   :mod:`repro.harness.campaign` (docs/CAMPAIGNS.md).
+* :mod:`repro.telemetry.live` — the live observability plane: streaming
+  worker frames, supervisor aggregation, rolling ``status.json``
+  (docs/OBSERVE.md).
+* :mod:`repro.telemetry.watch` / :mod:`repro.telemetry.prometheus` —
+  ``cli watch`` rendering and Prometheus text exposition over the live
+  status.
 """
 
 from repro.telemetry.campaign import (
@@ -34,6 +40,19 @@ from repro.telemetry.export import (
     validate_chrome_trace,
     write_jsonl,
 )
+from repro.telemetry.live import (
+    STATUS_FORMAT,
+    STREAM_FORMAT,
+    FrameDecoder,
+    LiveStatusPlane,
+    StreamAggregator,
+    TelemetryShipper,
+    encode_frame,
+    ensure_worker_shipper,
+    read_stream_log,
+    stream_chrome_trace,
+    stream_summary,
+)
 from repro.telemetry.observer import (
     TelemetryConfig,
     TelemetryObserver,
@@ -48,21 +67,32 @@ __all__ = [
     "CAMPAIGN_COUNTER_FAMILIES",
     "CHROME_FORMAT",
     "JSONL_FORMAT",
+    "STATUS_FORMAT",
+    "STREAM_FORMAT",
     "Counter",
+    "FrameDecoder",
     "Gauge",
     "Histogram",
+    "LiveStatusPlane",
     "MetricsRegistry",
     "SpanTracer",
     "SpinSpan",
+    "StreamAggregator",
     "TelemetryConfig",
     "TelemetryObserver",
+    "TelemetryShipper",
     "TraceReport",
     "build_records",
     "campaign_counter_totals",
     "chrome_trace",
     "config_from_env_value",
+    "encode_frame",
+    "ensure_worker_shipper",
     "read_jsonl",
+    "read_stream_log",
     "record_campaign_counters",
+    "stream_chrome_trace",
+    "stream_summary",
     "telemetry_from_env",
     "validate_chrome_trace",
     "write_jsonl",

@@ -1,0 +1,268 @@
+"""Prometheus text exposition over the live campaign status.
+
+``cli serve-metrics <campaign-dir>`` renders the rolling ``status.json``
+(:mod:`repro.telemetry.live`) in the Prometheus text exposition format
+(version 0.0.4) — either once to stdout (``--once``, the CI lint path)
+or over HTTP at ``/metrics`` via the stdlib server.  No client library
+is involved: the format is plain text, and :func:`validate_exposition`
+is a dependency-free lint of the subset we emit (mirroring
+``validate_chrome_trace`` in :mod:`repro.telemetry.export`).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Content type Prometheus scrapers expect for text exposition.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?: [0-9]+)?$")
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _sample(name: str, labels: Dict[str, str], value) -> str:
+    if labels:
+        body = ",".join(f'{key}="{_escape(str(val))}"'
+                        for key, val in sorted(labels.items()))
+        return f"{name}{{{body}}} {value}"
+    return f"{name} {value}"
+
+
+def render_exposition(status: Dict[str, object]) -> str:
+    """Render one status payload as Prometheus text exposition."""
+    campaign = status.get("campaign") or {}
+    lines: List[str] = []
+
+    def metric(name: str, type_: str, help_: str,
+               samples: List[Tuple[Dict[str, str], object]]) -> None:
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {type_}")
+        for labels, value in samples:
+            lines.append(_sample(name, labels, value))
+
+    states = {"pending": 0, "running": 0, "ok": 0, "failed": 0,
+              "resumed": 0}
+    for point in (status.get("points") or {}).values():
+        state = point.get("status")
+        if state in states:
+            states[state] += 1
+    metric("repro_campaign_points", "gauge",
+           "Campaign points by state.",
+           [({"state": state}, count)
+            for state, count in sorted(states.items())])
+    metric("repro_campaign_points_total", "gauge",
+           "Total points in the campaign.",
+           [({}, campaign.get("total_points", 0) or 0)])
+    metric("repro_campaign_throughput_points_per_second", "gauge",
+           "Completed points per second since the supervisor started.",
+           [({}, campaign.get("throughput_pps", 0.0) or 0.0)])
+    eta = campaign.get("eta_seconds")
+    metric("repro_campaign_eta_seconds", "gauge",
+           "Estimated seconds to completion (NaN when unknown).",
+           [({}, eta if eta is not None else "NaN")])
+    budget = campaign.get("failure_budget") or {}
+    metric("repro_campaign_failures_total", "counter",
+           "Permanently failed points (failure-budget burn).",
+           [({}, budget.get("burned", 0) or 0)])
+    saturation = campaign.get("saturation") or {}
+    metric("repro_campaign_saturation_cut", "gauge",
+           "1 when the live saturation cursor has cut the curve.",
+           [({}, 1 if saturation.get("cut") else 0)])
+
+    worker_states = {"idle": 0, "running": 0, "hung": 0, "dead": 0}
+    age_samples: List[Tuple[Dict[str, str], object]] = []
+    for pid, worker in sorted((status.get("workers") or {}).items()):
+        state = worker.get("state")
+        if state in worker_states:
+            worker_states[state] += 1
+        age = worker.get("heartbeat_age_s")
+        if age is not None:
+            age_samples.append(({"pid": str(pid)}, age))
+    metric("repro_workers", "gauge", "Workers by health state.",
+           [({"state": state}, count)
+            for state, count in sorted(worker_states.items())])
+    if age_samples:
+        metric("repro_worker_heartbeat_age_seconds", "gauge",
+               "Seconds since each worker's last frame.", age_samples)
+
+    counters = status.get("counters") or {}
+    counter_samples = [({"name": name}, value)
+                       for name, value in sorted(counters.items())]
+    if counter_samples:
+        metric("repro_supervisor_events_total", "counter",
+               "Supervisor-side event counters (frames, retries, "
+               "respawns).", counter_samples)
+    stream_totals = status.get("stream_totals") or {}
+    stream_samples = [({"event": name}, value)
+                      for name, value in sorted(stream_totals.items())]
+    if stream_samples:
+        metric("repro_stream_events_total", "counter",
+               "Worker-reported event-counter deltas merged by the "
+               "aggregator.", stream_samples)
+    return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Lint exposition text; returns human-readable problems (empty = ok).
+
+    Checks the subset of the text format we emit: HELP/TYPE comment
+    shape, known TYPE values, sample-line grammar, label-pair grammar,
+    and that every sample's metric name was declared by a TYPE line.
+    """
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    for number, line in enumerate(text.split("\n"), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {number}: malformed comment: "
+                                f"{line!r}")
+                continue
+            _, kind, name, rest = parts
+            if not _METRIC_NAME.match(name):
+                problems.append(f"line {number}: bad metric name {name!r}")
+            if kind == "TYPE":
+                if rest not in _TYPES:
+                    problems.append(f"line {number}: unknown type "
+                                    f"{rest!r}")
+                declared[name] = rest
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {number}: malformed sample: {line!r}")
+            continue
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in declared:
+                base = name[:-len(suffix)]
+                break
+        if base not in declared:
+            problems.append(f"line {number}: sample for undeclared "
+                            f"metric {name!r}")
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_labels(labels[1:-1]):
+                if pair and not _LABEL_PAIR.match(pair):
+                    problems.append(f"line {number}: bad label pair "
+                                    f"{pair!r}")
+    return problems
+
+
+def _split_labels(body: str) -> List[str]:
+    """Split a label body on commas not inside quoted values."""
+    pairs: List[str] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs
+
+
+def serve(directory, port: int = 0, once: bool = False) -> int:
+    """Serve ``/metrics`` for a campaign directory (or print once).
+
+    Returns the exit code: non-zero when the status file is missing in
+    ``--once`` mode.
+    """
+    from repro.telemetry.watch import load_status
+
+    if once:
+        status = load_status(directory)
+        if status is None:
+            print(f"no {directory}/status.json — run a streamed campaign "
+                  "first", file=sys.stderr)
+            return 1
+        sys.stdout.write(render_exposition(status))
+        return 0
+
+    import http.server
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - stdlib naming
+            if self.path.rstrip("/") not in ("", "/metrics"):
+                self.send_error(404)
+                return
+            status = load_status(directory)
+            if status is None:
+                self.send_error(503, "no status.json yet")
+                return
+            body = render_exposition(status).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # noqa: D102 - quiet server
+            pass
+
+    server = http.server.HTTPServer(("127.0.0.1", port), Handler)
+    print(f"serving metrics for {directory} on "
+          f"http://127.0.0.1:{server.server_port}/metrics "
+          "(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Lint an exposition file (``-`` for stdin); exit 1 on problems."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.telemetry.prometheus <file|->",
+              file=sys.stderr)
+        return 2
+    if args[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    problems = validate_exposition(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"exposition ok ({len([l for l in text.splitlines() if l and not l.startswith('#')])} samples)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

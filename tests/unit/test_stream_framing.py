@@ -1,0 +1,202 @@
+"""Wire-level tests for the ``repro.telemetry-stream/v1`` framing.
+
+The decoder must distinguish *torn* frames (more bytes coming — wait)
+from *corrupt* ones (bad prefix/JSON — resync at the next newline), and
+the aggregator must tolerate out-of-order and duplicated sequence
+numbers per worker (docs/OBSERVE.md).
+"""
+
+import json
+
+from repro.telemetry.live import (
+    STREAM_FORMAT,
+    FrameDecoder,
+    StreamAggregator,
+    TelemetryShipper,
+    encode_frame,
+)
+
+
+def frame(type_="heartbeat", worker=7, seq=1, **fields):
+    payload = {"type": type_, "worker": worker, "seq": seq, "t": 1.0}
+    payload.update(fields)
+    return payload
+
+
+class TestEncodeDecodeRoundtrip:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        original = frame("hello", schema=STREAM_FORMAT)
+        out = decoder.feed(encode_frame(original))
+        assert out == [original]
+        assert decoder.frames_decoded == 1
+        assert decoder.frames_corrupt == 0
+
+    def test_many_frames_one_chunk(self):
+        frames = [frame(seq=i) for i in range(1, 6)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        assert FrameDecoder().feed(blob) == frames
+
+    def test_prefix_matches_body_length(self):
+        encoded = encode_frame(frame())
+        prefix, rest = encoded.split(b" ", 1)
+        assert int(prefix) == len(rest) - 1  # body excludes trailing \n
+        assert rest.endswith(b"\n")
+
+    def test_unicode_payload_counts_bytes_not_chars(self):
+        original = frame("event", name="café ☃")
+        out = FrameDecoder().feed(encode_frame(original))
+        assert out == [original]
+
+
+class TestTornFrames:
+    def test_every_byte_boundary(self):
+        """Feed a multi-frame stream one byte at a time."""
+        frames = [frame(seq=i, padding="x" * i) for i in range(1, 4)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(blob)):
+            out.extend(decoder.feed(blob[i:i + 1]))
+        assert out == frames
+        assert decoder.frames_corrupt == 0
+
+    def test_torn_prefix_waits(self):
+        decoder = FrameDecoder()
+        encoded = encode_frame(frame())
+        assert decoder.feed(encoded[:2]) == []
+        assert decoder.frames_corrupt == 0
+        assert decoder.feed(encoded[2:]) == [frame()]
+
+    def test_torn_body_waits(self):
+        decoder = FrameDecoder()
+        encoded = encode_frame(frame())
+        assert decoder.feed(encoded[:-3]) == []
+        assert decoder.frames_corrupt == 0
+        assert decoder.feed(encoded[-3:]) == [frame()]
+
+    def test_split_across_arbitrary_chunks(self):
+        frames = [frame(seq=i) for i in range(1, 8)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(blob), 11):
+            out.extend(decoder.feed(blob[start:start + 11]))
+        assert out == frames
+
+
+class TestCorruptFrames:
+    def test_non_digit_prefix_resyncs(self):
+        decoder = FrameDecoder()
+        good = encode_frame(frame(seq=2))
+        out = decoder.feed(b"garbage line\n" + good)
+        assert out == [frame(seq=2)]
+        assert decoder.frames_corrupt == 1
+
+    def test_bad_json_body_counts_and_continues(self):
+        body = b"not json!!"
+        corrupt = b"%d %s\n" % (len(body), body)
+        good = encode_frame(frame(seq=3))
+        decoder = FrameDecoder()
+        assert decoder.feed(corrupt + good) == [frame(seq=3)]
+        assert decoder.frames_corrupt == 1
+
+    def test_wrong_length_prefix_resyncs_at_newline(self):
+        # Prefix claims 4 bytes but the body runs to the newline later:
+        # the tail byte at the claimed end is not \n, so resync.
+        good = encode_frame(frame(seq=4))
+        decoder = FrameDecoder()
+        out = decoder.feed(b"4 this-body-is-longer-than-four\n" + good)
+        assert out == [frame(seq=4)]
+        assert decoder.frames_corrupt == 1
+
+    def test_oversized_prefix_resyncs(self):
+        decoder = FrameDecoder()
+        good = encode_frame(frame(seq=5))
+        out = decoder.feed(b"9" * 40 + b"\n" + good)
+        assert out == [frame(seq=5)]
+        assert decoder.frames_corrupt >= 1
+
+    def test_non_object_json_is_corrupt(self):
+        body = json.dumps([1, 2, 3]).encode()
+        blob = b"%d %s\n" % (len(body), body)
+        decoder = FrameDecoder()
+        assert decoder.feed(blob) == []
+        assert decoder.frames_corrupt == 1
+
+
+class TestShipperTransportFailures:
+    def test_blocking_send_drops_and_counts(self):
+        def send(data):
+            raise BlockingIOError
+
+        shipper = TelemetryShipper(send, worker=1)
+        shipper.hello()
+        assert shipper.frames_dropped == 1
+        assert shipper.alive
+
+    def test_oserror_goes_quiet_forever(self):
+        calls = []
+
+        def send(data):
+            calls.append(data)
+            raise OSError("supervisor gone")
+
+        shipper = TelemetryShipper(send, worker=1)
+        shipper.hello()
+        assert not shipper.alive
+        shipper.point_start("k", 0.1, 100)
+        shipper.point_end("k", True, 0.5)
+        assert len(calls) == 1  # nothing sent after the transport died
+
+    def test_heartbeat_throttled(self):
+        sent = []
+        shipper = TelemetryShipper(sent.append, worker=1, interval=3600.0)
+        shipper.heartbeat()
+        shipper.heartbeat()
+        shipper.heartbeat()
+        assert len(sent) == 1
+
+
+class TestOutOfOrderSequences:
+    def test_stale_seq_refreshes_liveness_but_drops_payload(self):
+        agg = StreamAggregator(keys=["k1"], rates=[0.1])
+        agg.feed_frames([
+            frame("point_start", worker=9, seq=5, key="k1", rate=0.1,
+                  cycles_total=100),
+            frame("progress", worker=9, seq=6, key="k1", cycles_done=80,
+                  cycles_total=100, delivered=8, injected=9, spins=0),
+            # A duplicated older progress frame arrives late: its payload
+            # must not roll cycles_done back from 80 to 40.
+            frame("progress", worker=9, seq=6, key="k1", cycles_done=40,
+                  cycles_total=100, delivered=4, injected=5, spins=0),
+        ])
+        snap = agg.snapshot()
+        assert snap["points"]["k1"]["cycles_done"] == 80
+        assert agg.counters["frames_stale"] == 1
+        assert agg.counters["frames_received"] == 3
+
+    def test_fresh_seq_after_stale_applies(self):
+        agg = StreamAggregator(keys=["k1"], rates=[0.1])
+        agg.feed_frames([
+            frame("point_start", worker=9, seq=2, key="k1", rate=0.1,
+                  cycles_total=100),
+            frame("heartbeat", worker=9, seq=1),  # stale
+            frame("progress", worker=9, seq=3, key="k1", cycles_done=50),
+        ])
+        assert agg.snapshot()["points"]["k1"]["cycles_done"] == 50
+
+    def test_corrupt_bytes_counted_by_aggregator(self):
+        agg = StreamAggregator(keys=["k1"])
+        good = encode_frame(frame("heartbeat", worker=3, seq=1))
+        agg.feed_bytes("conn-1", b"junk\n" + good)
+        assert agg.counters["frames_corrupt"] == 1
+        assert agg.counters["frames_received"] == 1
+
+    def test_independent_sequence_spaces_per_worker(self):
+        agg = StreamAggregator()
+        agg.feed_frames([
+            frame("heartbeat", worker=1, seq=5),
+            frame("heartbeat", worker=2, seq=1),  # different worker: fresh
+        ])
+        assert agg.counters.get("frames_stale", 0) == 0
