@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare a fresh bench record against history.
+
+Reads the ``BENCH_sweep.json`` record a CI run just produced and the
+committed ``BENCH_history.jsonl`` trajectory, finds the most recent history
+entry with the *same configuration fingerprint* (design, pattern, rates,
+seed, mesh side — plus the simulation window when both records carry it,
+i.e. both are ``repro.bench-sweep/v4``), and fails when either tracked
+speedup dropped by more than ``--max-regression-pct``:
+
+* ``fast_engine.speedup_vs_serial`` — the honest full-sweep aggregate on
+  busy networks (bit-identity enforced by the bench itself), and
+* ``idle_skip.speedup`` — the event-driven regime the fast core exists for.
+
+Speedups are *ratios of two legs timed in the same process*, so they are
+far more stable across heterogeneous CI hosts than absolute wall times —
+which is why the gate compares ratios and never seconds.  They still
+wobble on noisy runners, hence the generous default threshold (20%) and
+the escape hatch: put ``[bench-skip]`` in the head commit message (checked
+via ``git log``, merge commits skipped so PR gates see the real head) or
+set ``BENCH_SKIP=1`` to acknowledge an intended perf change.  When the
+history has no entry matching the current configuration the gate passes
+with a note — the freshly appended entry becomes the next baseline.
+
+Usage (mirrors the CI ``perf`` job)::
+
+    python benchmarks/check_perf.py --bench BENCH_sweep.json \
+        --history BENCH_history.jsonl --max-regression-pct 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP_TOKEN = "[bench-skip]"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="BENCH_sweep.json",
+                        metavar="FILE.json",
+                        help="fresh record produced by bench_sweep.py")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        metavar="FILE.jsonl",
+                        help="committed append-only perf trajectory")
+    parser.add_argument("--max-regression-pct", type=float, default=20.0,
+                        help="allowed drop of each tracked speedup vs the "
+                             "baseline, in percent")
+    return parser
+
+
+def fingerprint(record: dict) -> tuple:
+    """Configuration identity of a bench record.
+
+    v3 records carry only the coarse fields; v4 adds the simulation
+    window.  Two records are comparable when every field *both* carry
+    matches, so a v4 run still finds its v3 baseline.
+    """
+    coarse = (record.get("design"), record.get("pattern"),
+              tuple(record.get("rates") or ()), record.get("seed"),
+              record.get("mesh_side"))
+    return coarse
+
+
+def window_matches(current: dict, baseline: dict) -> bool:
+    """Strict sim-window check, applied only when both records have one."""
+    cur, base = current.get("sim"), baseline.get("sim")
+    if cur is None or base is None:
+        return True
+    return cur == base
+
+
+def head_commit_message() -> str:
+    """Message of the commit under test (merge commits skipped)."""
+    try:
+        return subprocess.run(
+            ["git", "log", "--no-merges", "-1", "--pretty=%B"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return ""
+
+
+def tracked_speedups(record: dict) -> dict:
+    return {
+        "fast_engine.speedup_vs_serial":
+            (record.get("fast_engine") or {}).get("speedup_vs_serial"),
+        "idle_skip.speedup":
+            (record.get("idle_skip") or {}).get("speedup"),
+    }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if os.environ.get("BENCH_SKIP") == "1":
+        print("perf gate skipped: BENCH_SKIP=1")
+        return 0
+    message = head_commit_message()
+    if SKIP_TOKEN in message:
+        print(f"perf gate skipped: head commit message contains "
+              f"{SKIP_TOKEN!r}")
+        return 0
+
+    current = json.loads(Path(args.bench).read_text())
+    history_path = Path(args.history)
+    if not history_path.exists():
+        print(f"perf gate passed with a note: no history file at "
+              f"{history_path} — nothing to compare against yet")
+        return 0
+
+    want = fingerprint(current)
+    baseline = None
+    baseline_recorded = None
+    with open(history_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            record = entry.get("bench") or {}
+            if fingerprint(record) == want and window_matches(current,
+                                                              record):
+                baseline = record
+                baseline_recorded = entry.get("recorded_unix")
+    if baseline is None:
+        print(f"perf gate passed with a note: no history entry matches "
+              f"fingerprint {want} — this run seeds the baseline")
+        return 0
+
+    failures = []
+    base_speedups = tracked_speedups(baseline)
+    for name, now in tracked_speedups(current).items():
+        then = base_speedups.get(name)
+        if then is None or now is None:
+            print(f"{name}: baseline or current value missing, not gated")
+            continue
+        drop_pct = (then - now) / then * 100.0
+        verdict = "REGRESSED" if drop_pct > args.max_regression_pct else "ok"
+        print(f"{name}: {then}x -> {now}x ({drop_pct:+.1f}% drop, "
+              f"threshold {args.max_regression_pct:.0f}%) [{verdict}]")
+        if verdict == "REGRESSED":
+            failures.append(name)
+
+    print(f"baseline: recorded_unix={baseline_recorded} "
+          f"schema={baseline.get('schema')}")
+    if failures:
+        print(f"ERROR: perf regression beyond "
+              f"{args.max_regression_pct:.0f}% on: {', '.join(failures)}. "
+              f"If intended, commit with {SKIP_TOKEN!r} in the message.",
+              file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

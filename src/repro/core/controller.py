@@ -68,6 +68,11 @@ class SpinController:
         self.probe_pending: Optional[Tuple[int, int, int, int, int]] = None
         self.kill_retries = 0
 
+        # Round-robin scan ring over the network VCs (cached: the router's
+        # inports are fixed after fabric construction).
+        self._vc_ring: Optional[list] = None
+        self._vc_pos: Optional[dict] = None
+
     # ------------------------------------------------------------------
     # Counter tick (called once per cycle)
     # ------------------------------------------------------------------
@@ -151,18 +156,22 @@ class SpinController:
 
     def _point_at_next_active_vc(self, now: int) -> None:
         """Advance the pointer round-robin to the next occupied VC."""
-        vcs = list(self._network_vcs())
+        vcs = self._vc_ring
+        if vcs is None:
+            vcs = self._vc_ring = list(self._network_vcs())
+            self._vc_pos = {(vc.inport, vc.index): i
+                            for i, vc in enumerate(vcs)}
         if not vcs:
             self._go_off()
             return
         start = 0
         if self.pointer is not None:
-            for i, vc in enumerate(vcs):
-                if (vc.inport, vc.index) == self.pointer:
-                    start = i + 1
-                    break
-        for offset in range(len(vcs)):
-            vc = vcs[(start + offset) % len(vcs)]
+            pos = self._vc_pos.get(self.pointer)
+            if pos is not None:
+                start = pos + 1
+        count = len(vcs)
+        for offset in range(count):
+            vc = vcs[(start + offset) % count]
             if vc.packet is not None:
                 self.pointer = (vc.inport, vc.index)
                 self.pointed_uid = vc.packet.uid

@@ -77,11 +77,13 @@ class SpinFramework:
                 by_router[router_id].append((inport, sm))
             for router_id in sorted(by_router):
                 batch = by_router[router_id]
-                batch.sort(key=lambda item: (
-                    -item[1].class_priority,
-                    -self.priority.dynamic_priority(item[1].sender, cycle),
-                    item[0],
-                ))
+                if len(batch) > 1:
+                    batch.sort(key=lambda item: (
+                        -item[1].class_priority,
+                        -self.priority.dynamic_priority(item[1].sender,
+                                                        cycle),
+                        item[0],
+                    ))
                 controller = self.controllers[router_id]
                 for inport, sm in batch:
                     controller.on_sm(sm, inport, cycle)
@@ -113,14 +115,19 @@ class SpinFramework:
                 raise ProtocolError(
                     f"SM emitted on missing port {outport} of router "
                     f"{router_id}", router=router_id, port=outport, cycle=now)
-            winner = max(sms, key=lambda sm: (
-                sm.class_priority,
-                self.priority.dynamic_priority(sm.sender, now),
-                -sm.sender,
-            ))
-            for sm in sms:
-                if sm is not winner:
-                    self.stats.count(f"{sm.kind}s_dropped_contention")
+            if len(sms) == 1:
+                # Uncontended port (the overwhelmingly common case): the
+                # priority comparison has a single competitor.
+                winner = sms[0]
+            else:
+                winner = max(sms, key=lambda sm: (
+                    sm.class_priority,
+                    self.priority.dynamic_priority(sm.sender, now),
+                    -sm.sender,
+                ))
+                for sm in sms:
+                    if sm is not winner:
+                        self.stats.count(f"{sm.kind}s_dropped_contention")
             if not link.up:
                 # Fail-stop link: the SM is lost; initiator watchdogs and
                 # the kill/abort machinery recover (docs/FAULTS.md).

@@ -13,7 +13,7 @@ the leading port id at each hop, so every router sees its own outport first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Tuple
 
 #: Class priorities (higher wins output-link contention).
@@ -21,6 +21,22 @@ PROBE_PRIORITY = 1
 MOVE_PRIORITY = 2
 KILL_MOVE_PRIORITY = 2
 PROBE_MOVE_PRIORITY = 3
+
+
+def _clone(sm: "SpecialMessage", **changes) -> "SpecialMessage":
+    """Copy a frozen SM with field overrides.
+
+    SM copies sit on the probe/move hot path (one per loop hop per probed
+    dependency), so this skips ``dataclasses.replace``'s per-call field
+    introspection: every field of these frozen dataclasses is ``init=True``
+    and lives in ``__dict__``, making a dict merge an exact substitute.
+    """
+    clone = object.__new__(type(sm))
+    # In-place dict update: frozen dataclasses also veto ``__dict__``
+    # rebinding through their generated ``__setattr__``.
+    clone.__dict__.update(sm.__dict__)
+    clone.__dict__.update(changes)
+    return clone
 
 
 @dataclass(frozen=True)
@@ -50,7 +66,7 @@ class SpecialMessage:
 
     def with_path(self, path: Tuple[int, ...]) -> "SpecialMessage":
         """Copy of this SM with a different path."""
-        return replace(self, path=path)
+        return _clone(self, path=path)
 
 
 @dataclass(frozen=True)
@@ -74,7 +90,7 @@ class ProbeMessage(SpecialMessage):
 
     def forked(self, outport: int) -> "ProbeMessage":
         """Copy forked out of ``outport``, with the port appended."""
-        return replace(self, path=self.path + (outport,))
+        return _clone(self, path=self.path + (outport,))
 
 
 @dataclass(frozen=True)
@@ -92,7 +108,7 @@ class PathFollowingMessage(SpecialMessage):
 
     def advanced(self) -> "PathFollowingMessage":
         """Copy with the leading port stripped and the hop index bumped."""
-        return replace(self, path=self.path[1:], hop_index=self.hop_index + 1)
+        return _clone(self, path=self.path[1:], hop_index=self.hop_index + 1)
 
     @property
     def first_port(self) -> int:

@@ -33,6 +33,13 @@ class VirtualChannel:
         "freeze_path_index",
     )
 
+    #: Process-wide freeze-state epoch, bumped by every ``freeze()`` /
+    #: ``clear_freeze()``.  Engines compare it around control callbacks to
+    #: detect "did that call touch any freeze state?" without scanning VCs
+    #: (freezing is the only datapath-visible mutation controllers perform
+    #: outside the reserve/release event funnel).
+    freeze_epoch = 0
+
     def __init__(self, router: int, inport: int, index: int, vnet: int) -> None:
         self.router = router
         self.inport = inport
@@ -116,6 +123,7 @@ class VirtualChannel:
         self.freeze_source = source
         self.freeze_spin_cycle = spin_cycle
         self.freeze_path_index = path_index
+        VirtualChannel.freeze_epoch += 1
 
     def clear_freeze(self) -> None:
         """Unfreeze (kill_move, spin completion, or safety timeout)."""
@@ -124,6 +132,7 @@ class VirtualChannel:
         self.freeze_source = -1
         self.freeze_spin_cycle = -1
         self.freeze_path_index = -1
+        VirtualChannel.freeze_epoch += 1
 
     def __repr__(self) -> str:
         state = "idle" if self.packet is None else (

@@ -1,56 +1,62 @@
-"""The fast engine: event-driven idle skipping over the reference state.
+"""The fast engine: idle skipping + a struct-of-arrays core for active work.
 
 Design contract
 ---------------
 
 :class:`FastSimulator` is **not** a second implementation of the datapath.
 All authoritative state stays in the reference objects (``Router``,
-``VirtualChannel``, ``Link``, ``NetworkInterface``, the SPIN controllers);
-the fast engine only *skips work the reference loop would provably not do*:
+``VirtualChannel``, ``Link``, ``NetworkInterface``, the SPIN controllers).
+The engine layers two mechanisms on top of them:
 
-* **Router idle-skip** — a router's ``allocate()`` cycle is a no-op unless
-  one of its VCs can be granted or its routing decision could change (which
-  includes consuming adaptive-selection randomness).  The fast core tracks,
-  per router, a dirty bit (set by every VC reserve/release event touching
-  it) and a wake time derived from VC ready times, ejection/port busy
-  timers, and an *earliest-downstream-idle* table, and runs the full
-  allocation cycle only when one of them fires.  The per-cycle work it does
-  run is a line-for-line replica of ``Router.allocate`` (plus calls into
-  the real grant/arbitration methods), so granted cycles are bit-identical.
-* **SPIN tick-skip** — a controller ``tick()`` is a no-op before its next
-  deadline unless an SM arrived or a VC event touched its router.  Due
-  times are derived from the controller FSM exactly; spin-execution cycles
-  conservatively tick (and wake) everything, because the executor may
-  freeze/unfreeze VCs without datapath events.
-* **NIC injection-skip** — a NIC whose injection attempt must fail (port
-  streaming a previous packet, or every permitted injection VC busy) sleeps
-  until the blocking timer expires or a release event frees one of its
-  injection VCs.  Failed ``try_inject`` calls are side-effect-free in the
-  reference, so skipping them is exact.
-* **Quiescence fast-forward** — once traffic has stopped and the network
-  holds no packets, no backlog and no pending SPIN work, every remaining
-  cycle of a ``run()`` is a no-op and is skipped wholesale.
+* **Event-driven idle skipping** — per-router dirty bits + wake times (set
+  by every VC reserve/release event), per-controller FSM due times, and
+  per-NIC injection wake times let quiescent regions cost zero cycles, with
+  a whole-run fast-forward once traffic stops and the network drains.
+* **A struct-of-arrays core for the regions that *are* active** —
+  :class:`repro.sim.fastcore.soa.SoaCore` compiles the network at build
+  time into integer-indexed tables (global VC id space with occupancy /
+  ready / credit mirrors, per-router active rows, precombined candidate
+  entries with downstream-VC id slices, arbitration keys, lazy hop rows)
+  and advances the ``allocate`` and ``inject`` phases over those tables
+  with the reference datapath inlined, writing the authoritative objects
+  directly so the oracle, golden traces and SPIN controllers see identical
+  state at every phase boundary.  See the :mod:`soa` module docstring for
+  the mirror-synchronization invariants.
 
-The skip analysis is only valid for configurations it was proven against:
-stock minimal-adaptive or dimension-order routing (base-class selection,
-VC-choice and downstream-VC policies), the known control planes, and no
-runtime fault injector.  Anything else — Static Bubble / escape-VC
-routing, custom planes, faults — compiles to the *pure reference
-schedule*: the engine still satisfies the API but performs exactly the
-reference work, so conformance is trivial.  A runtime link failure while
-the fast path is active likewise drops allocation back to the reference
-rotation for as long as dead links exist.
+The per-cycle work that does run is semantically a line-for-line replica of
+``Router.allocate`` / ``NetworkInterface.try_inject`` (same request scan
+order, same RNG draws, same arbitration pointers, same field writes), so
+granted cycles are bit-identical to the reference engine; the analysis for
+*skipped* cycles proves them to be reference no-ops.
+
+SPIN controller ticks are skipped before their FSM-derived deadlines unless
+an SM arrived or a VC event touched their router (``_ctrl_due`` covers all
+seven FSM states); spin-execution cycles conservatively tick (and wake)
+everything, because the executor may freeze/unfreeze VCs without datapath
+events.
+
+The skip/inline analysis is only valid for configurations it was proven
+against: stock minimal-adaptive or dimension-order routing (base-class
+decision, selection, VC-choice, downstream-VC *and* ``on_hop``/
+``on_inject`` hook implementations), the known control planes, and no
+runtime fault injector.  Anything else — Static Bubble / escape-VC routing,
+custom planes, faults — compiles to the *pure reference schedule*: the
+engine still satisfies the API but performs exactly the reference work, so
+conformance is trivial.  A runtime link failure while the fast path is
+active likewise drops allocation back to the reference rotation (the SoA
+mirrors stay synchronized through the event funnel) for as long as dead
+links exist.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.fsm import SpinState
-from repro.errors import RoutingError
-from repro.network.router import EJECT_PORT_BASE, INJECT_PORT_BASE
+from repro.network.vc import VirtualChannel
 from repro.sim.engine import Simulator, _PHASES
+from repro.sim.fastcore.soa import SoaCore
 
 #: Sentinel wake/due time meaning "never (until an event)".
 _NEVER = 1 << 60
@@ -89,7 +95,7 @@ def _ctrl_due(controller, cycle: int) -> int:
 
 
 class FastSimulator(Simulator):
-    """Drop-in engine running the reference state with event-driven skips."""
+    """Drop-in engine: reference state, event-driven skips, SoA hot loops."""
 
     name = "fast"
 
@@ -97,36 +103,16 @@ class FastSimulator(Simulator):
         super().__init__()
         self._net = None
         self._fw = None
-        self._routing = None
         self._traffic = None
         self._fast_ok = False
         self._ff_ok = False
-        self._count = 0
-        # Compiled per-router structures (see _compile).
-        self._rvcs: List[Tuple[Tuple[int, object], ...]] = []
-        self._r_dirty = bytearray()
-        self._r_wake: List[int] = []
-        self._r_any_dirty = True
-        self._r_min_wake = 0
-        self._c_dirty = bytearray()
-        self._c_due: List[int] = []
-        self._c_any_dirty = True
-        self._c_min_due = 0
-        self._tbl: Dict[Tuple[int, int, int], int] = {}
-        self._upmap: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        self._dslice: Dict[Tuple[int, int, int], tuple] = {}
-        self._cands: Dict[Tuple[int, int], tuple] = {}
-        self._eject_of: List[int] = []
-        self._inject_of: Dict[Tuple[int, int], int] = {}
-        self._nic_wake: List[int] = []
-        self._occupied = 0
-        self._active_nics = set()
+        self._core: SoaCore = None
 
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
     def _compile(self) -> None:
-        """Decide whether the fast paths apply and build their structures."""
+        """Decide whether the fast paths apply and build the SoA core."""
         from repro.network.network import Network
 
         self._fast_ok = False
@@ -149,45 +135,7 @@ class FastSimulator(Simulator):
 
         self._fast_ok = True
         self._fw = net.spin
-        self._routing = net.routing
-        count = len(net.routers)
-        self._count = count
-        self._rvcs = [
-            tuple((inport, vc)
-                  for inport, vcs in router.all_inports()
-                  for vc in vcs)
-            for router in net.routers
-        ]
-        self._r_dirty = bytearray(b"\x01" * count)
-        self._r_wake = [0] * count
-        self._r_any_dirty = True
-        self._r_min_wake = 0
-        self._tbl = {}
-        self._cands = {}
-        self._upmap = {
-            (link.dst, link.dst_port): (link.src, link.src_port)
-            for link in net.links.values()
-        }
-        num_vnets = net.config.num_vnets
-        self._dslice = {
-            (router.id, outport, vnet): tuple(
-                neighbor.vnet_slice(dst_port, vnet))
-            for router in net.routers
-            for outport, (neighbor, dst_port) in router.out_neighbors.items()
-            for vnet in range(num_vnets)
-        }
-        self._eject_of = [EJECT_PORT_BASE + nic.local_index
-                          for nic in net.nics]
-        self._inject_of = {(nic.router_id, nic.inject_port): nic.node
-                           for nic in net.nics}
-        self._nic_wake = [0] * len(net.nics)
-        self._occupied = net.packets_in_flight()
-        self._active_nics = {nic.node for nic in net.nics if nic.backlog()}
-        if self._fw is not None:
-            self._c_dirty = bytearray(b"\x01" * count)
-            self._c_due = [0] * count
-            self._c_any_dirty = True
-            self._c_min_due = 0
+        self._core = SoaCore(net)
         net.engine_sink = self
 
         # Fast-forward additionally requires that no component or observer
@@ -213,9 +161,11 @@ class FastSimulator(Simulator):
         """Only stock MinAdaptive/XY: base-class decide/select/VC policies.
 
         Exact-type plus method-identity checks: subclasses (Static Bubble,
-        escape-VC, west-first...) override selection or VC disciplines in
-        ways the skip analysis does not model, and a future override on the
-        whitelisted classes themselves must fail closed.
+        escape-VC, west-first...) override selection, VC disciplines or the
+        per-hop/inject hooks in ways the skip/inline analysis does not
+        model, and a future override on the whitelisted classes themselves
+        must fail closed.  ``on_hop``/``on_inject`` must be the base no-ops
+        because the SoA grant/inject paths elide those calls entirely.
         """
         from repro.routing.adaptive import MinimalAdaptiveRouting
         from repro.routing.base import RoutingAlgorithm
@@ -226,7 +176,8 @@ class FastSimulator(Simulator):
             return False
         base = RoutingAlgorithm
         shared = ("decide", "select", "wait_choice", "vc_choices",
-                  "pick_downstream_vc", "injection_vc_choices")
+                  "pick_downstream_vc", "injection_vc_choices",
+                  "on_hop", "on_inject")
         for method in shared:
             if getattr(cls, method) is not getattr(base, method):
                 return False
@@ -272,72 +223,21 @@ class FastSimulator(Simulator):
     # Event sink (called from Network.note_vc_* and NIC.enqueue)
     # ------------------------------------------------------------------
     def vc_reserved(self, router, vc=None) -> None:
-        self._occupied += 1
-        rid = router.id
-        self._r_dirty[rid] = 1
-        self._r_any_dirty = True
-        if self._fw is not None:
-            self._c_dirty[rid] = 1
-            self._c_any_dirty = True
         if vc is None:
-            self._reset_conservatively()
+            # Legacy vc-less event: scenario planting mutated VC fields
+            # directly — rebuild every mirror from the objects.
+            self._core.resync()
+            return
+        self._core.on_reserved(router, vc)
 
     def vc_released(self, router, vc=None) -> None:
-        self._occupied -= 1
-        rid = router.id
-        self._r_dirty[rid] = 1
-        self._r_any_dirty = True
-        if self._fw is not None:
-            self._c_dirty[rid] = 1
-            self._c_any_dirty = True
         if vc is None:
-            self._reset_conservatively()
+            self._core.resync()
             return
-        inport = vc.inport
-        upstream = self._upmap.get((rid, inport))
-        if upstream is not None:
-            uid, uport = upstream
-            free_at = vc.free_at
-            key = (uid, uport, vc.vnet)
-            known = self._tbl.get(key)
-            # Only *lower* an existing bound: this event bounds one VC, not
-            # the slice minimum, so an absent key (= "unknown, always
-            # re-check") must stay absent — installing free_at could mask a
-            # sibling VC that is already idle.
-            if known is not None and free_at < known:
-                self._tbl[key] = free_at
-            if self._r_wake[uid] > free_at:
-                self._r_wake[uid] = free_at
-                if self._r_min_wake > free_at:
-                    self._r_min_wake = free_at
-        elif inport >= INJECT_PORT_BASE:
-            # An injection VC freed up: its NIC may inject again.
-            node = self._inject_of.get((rid, inport))
-            if node is not None:
-                free_at = vc.free_at
-                if self._nic_wake[node] > free_at:
-                    self._nic_wake[node] = free_at
+        self._core.on_released(router, vc)
 
     def nic_backlogged(self, node: int) -> None:
-        self._active_nics.add(node)
-        # A new head-of-queue packet may target a different vnet whose VCs
-        # are idle: re-attempt immediately.
-        self._nic_wake[node] = 0
-
-    def _reset_conservatively(self) -> None:
-        """A legacy (vc-less) event: wake everything, drop cached times."""
-        self._tbl.clear()
-        count = self._count
-        self._r_dirty = bytearray(b"\x01" * count)
-        self._r_wake = [0] * count
-        self._r_any_dirty = True
-        self._r_min_wake = 0
-        self._nic_wake = [0] * len(self._nic_wake)
-        if self._fw is not None:
-            self._c_dirty = bytearray(b"\x01" * count)
-            self._c_due = [0] * count
-            self._c_any_dirty = True
-            self._c_min_due = 0
+        self._core.nic_backlogged(node)
 
     # ------------------------------------------------------------------
     # Phase: control
@@ -355,6 +255,7 @@ class FastSimulator(Simulator):
     def _spin_control(self, cycle: int) -> None:
         """Replica of SpinFramework.phase_control with no-op ticks skipped."""
         fw = self._fw
+        core = self._core
         executor = fw.executor
         # Peek before execute() pops: spin cycles freeze/unfreeze VCs and run
         # controller callbacks with no datapath events, so they tick (and
@@ -364,8 +265,8 @@ class FastSimulator(Simulator):
         if pending:
             executor.execute(cycle)
         arrivals = fw._arrivals.pop(cycle, None) if fw._arrivals else None
-        c_dirty = self._c_dirty
-        r_dirty = self._r_dirty
+        c_dirty = core.c_dirty
+        r_dirty = core.r_dirty
         if arrivals:
             by_router: Dict[int, list] = defaultdict(list)
             for router_id, inport, sm in arrivals:
@@ -382,9 +283,9 @@ class FastSimulator(Simulator):
                     controller.on_sm(sm, inport, cycle)
                 c_dirty[router_id] = 1
                 r_dirty[router_id] = 1
-            self._c_any_dirty = True
-            self._r_any_dirty = True
-        c_due = self._c_due
+            core.c_any_dirty = True
+            core.r_any_dirty = True
+        c_due = core.c_due
         ticked = 0
         if full_cycle:
             for i, controller in enumerate(fw.controllers):
@@ -393,23 +294,28 @@ class FastSimulator(Simulator):
                 c_due[i] = _ctrl_due(controller, cycle)
                 r_dirty[i] = 1
             ticked = len(fw.controllers)
-            self._r_any_dirty = True
-            self._c_any_dirty = 1 in c_dirty
-            self._c_min_due = min(c_due)
-        elif self._c_any_dirty or cycle >= self._c_min_due:
+            core.r_any_dirty = True
+            core.c_any_dirty = 1 in c_dirty
+            core.c_min_due = min(c_due)
+        elif core.c_any_dirty or cycle >= core.c_min_due:
             for i, controller in enumerate(fw.controllers):
                 if not c_dirty[i] and cycle < c_due[i]:
                     continue
                 c_dirty[i] = 0
+                # A tick may freeze/unfreeze VCs (watchdog resets, FROZEN
+                # escapes) without firing datapath events; the epoch says
+                # whether this one did.  Detection-pointer ticks — the vast
+                # majority — leave the datapath untouched and must not force
+                # an allocate re-run.
+                epoch = VirtualChannel.freeze_epoch
                 controller.tick(cycle)
                 c_due[i] = _ctrl_due(controller, cycle)
-                # A tick may unfreeze VCs (watchdog resets, FROZEN escapes)
-                # without firing datapath events.
-                r_dirty[i] = 1
-                self._r_any_dirty = True
+                if VirtualChannel.freeze_epoch != epoch:
+                    r_dirty[i] = 1
+                    core.r_any_dirty = True
                 ticked += 1
-            self._c_any_dirty = 1 in c_dirty
-            self._c_min_due = min(c_due)
+            core.c_any_dirty = 1 in c_dirty
+            core.c_min_due = min(c_due)
         if self._profiler is not None:
             self._profiler.count("controller_ticks", ticked)
             self._profiler.count("controller_ticks_skipped",
@@ -421,262 +327,63 @@ class FastSimulator(Simulator):
     # Phase: inject
     # ------------------------------------------------------------------
     def _fast_phase_inject(self, cycle: int) -> None:
-        active = self._active_nics
-        if not active:
-            return
-        net = self._net
-        nics = net.nics
-        routers = net.routers
-        nic_wake = self._nic_wake
-        for node in sorted(active):
-            if cycle < nic_wake[node]:
-                continue
-            nic = nics[node]
-            packet = nic.try_inject(cycle)
-            if not nic.backlog():
-                active.discard(node)
-                nic_wake[node] = 0
-                continue
-            router = routers[nic.router_id]
-            inject_port = nic.inject_port
-            port_busy = router.port_busy[inject_port]
-            if packet is not None or cycle <= port_busy:
-                # Streaming (or already was): next attempt can succeed only
-                # after the port frees.
-                nic_wake[node] = port_busy + 1
-                continue
-            # Port free but every permitted injection VC busy for every
-            # queued head-of-line packet: sleep until an empty VC's free_at;
-            # occupied VCs wake this NIC via their release event, and a new
-            # enqueue resets the wake (failed try_inject calls are pure).
-            routing = self._routing
-            wake = _NEVER
-            for queue in nic.queues:
-                if not queue:
-                    continue
-                head = queue[0]
-                vcs = router.vnet_slice(inject_port, head.vnet)
-                for idx in routing.injection_vc_choices(head):
-                    dvc = vcs[idx]
-                    if dvc.packet is None and dvc.free_at < wake:
-                        wake = dvc.free_at
-            nic_wake[node] = wake
+        self._core.phase_inject(cycle)
 
     # ------------------------------------------------------------------
     # Phase: allocate
     # ------------------------------------------------------------------
     def _fast_phase_allocate(self, cycle: int) -> None:
         net = self._net
-        count = self._count
+        core = self._core
+        count = core.router_count
         offset = net._allocation_offset
         if net.dead_link_count:
             # Runtime link failure: the dead-link candidate filter mutates
-            # packet route state inside decide(), which the skip analysis
-            # does not model.  Run the reference rotation until links heal,
+            # packet route state inside decide(), which the inline analysis
+            # does not model.  Run the reference rotation until links heal
+            # (the SoA mirrors stay synchronized via the event funnel),
             # keeping every router dirty so the fast path restarts cleanly.
             routers = net.routers
             for i in range(count):
                 routers[(i + offset) % count].allocate(cycle)
             net._allocation_offset = (offset + 1) % count
-            r_dirty = self._r_dirty
+            r_dirty = core.r_dirty
             for i in range(count):
                 r_dirty[i] = 1
-            self._r_any_dirty = True
-            self._r_min_wake = 0
+            core.r_any_dirty = True
+            core.r_min_wake = 0
             return
-        if not self._r_any_dirty and cycle < self._r_min_wake:
+        if not core.r_any_dirty and cycle < core.r_min_wake:
             # No router can grant or change its decision this cycle; only
-            # the rotation pointer advances (as it would over 64 no-ops).
+            # the rotation pointer advances (as it would over N no-ops).
             net._allocation_offset = (offset + 1) % count
             if self._profiler is not None:
                 self._profiler.count("alloc_cycles_skipped")
                 self._profiler.count("router_cycles_skipped", count)
             return
-        routers = net.routers
-        r_dirty = self._r_dirty
-        r_wake = self._r_wake
+        r_dirty = core.r_dirty
+        r_wake = core.r_wake
+        router_cycle = core.router_cycle
         ran = 0
         for i in range(count):
             rid = (i + offset) % count
             if r_dirty[rid] or cycle >= r_wake[rid]:
-                self._router_cycle(routers[rid], rid, cycle)
+                router_cycle(rid, cycle)
                 ran += 1
         net._allocation_offset = (offset + 1) % count
-        self._r_any_dirty = 1 in r_dirty
-        self._r_min_wake = min(r_wake)
+        core.r_any_dirty = 1 in r_dirty
+        core.r_min_wake = min(r_wake)
         if self._profiler is not None:
             self._profiler.count("alloc_cycles_run")
             self._profiler.count("router_cycles_run", ran)
             self._profiler.count("router_cycles_skipped", count - ran)
 
-    def _router_cycle(self, router, rid: int, cycle: int) -> None:
-        """One allocation cycle: replica of Router.allocate + wake analysis.
-
-        The request loop mirrors the reference line for line, except that a
-        routing ``decide()`` call is elided when it is provably a pure no-op
-        that draws no randomness:
-
-        * packet at destination → decide writes the (already-written)
-          ejection port;
-        * single candidate outport → ``select`` returns it unconditionally;
-        * several candidates, none with an idle downstream VC → ``select``'s
-          free-list is empty and the sticky previous request wins.
-
-        Downstream idleness is answered by the earliest-idle table, whose
-        entries are provably ≤ the true earliest idle time (so a stale entry
-        can only cause a redundant check, never a skipped random draw).
-        """
-        r_dirty = self._r_dirty
-        r_dirty[rid] = 0
-        if router.active_vcs == 0:
-            self._r_wake[rid] = _NEVER
-            return
-        routing = self._routing
-        dslice = self._dslice
-        cands_cache = self._cands
-        eject_of = self._eject_of
-        port_busy = router.port_busy
-        requests: Dict[int, list] = {}
-        decide_called = False
-        wake = _NEVER
-        for inport, vc in self._rvcs[rid]:
-            packet = vc.packet
-            if packet is None or vc.frozen:
-                continue
-            ready_at = vc.ready_at
-            if cycle < ready_at:
-                if ready_at < wake:
-                    wake = ready_at
-                continue
-            request = packet.current_request
-            if packet.phase == 1 and packet.dst_router == rid:
-                outport = eject_of[packet.dst_node]
-                packet.current_request = outport
-                t = port_busy[inport]
-                eject = router.eject_busy[outport]
-                if eject > t:
-                    t = eject
-                t += 1
-                if t < wake:
-                    wake = t
-            elif packet.phase == 0 or request is None:
-                outport = routing.decide(router, inport, packet, cycle)
-                decide_called = True
-            else:
-                ckey = (rid, packet.dst_router)
-                candidates = cands_cache.get(ckey)
-                if candidates is None:
-                    candidates = tuple(
-                        routing.candidate_outports(router, packet))
-                    cands_cache[ckey] = candidates
-                vnet = packet.vnet
-                if len(candidates) == 1:
-                    outport = candidates[0]
-                    packet.current_request = outport
-                    t = self._downstream_time((rid, outport, vnet), cycle)
-                    if t <= cycle:
-                        t = cycle + 1  # a grant may become possible
-                    if t < wake:
-                        wake = t
-                else:
-                    any_idle = False
-                    for candidate in candidates:
-                        t = self._downstream_time((rid, candidate, vnet),
-                                                  cycle)
-                        if t <= cycle:
-                            any_idle = True
-                            break
-                        if t < wake:
-                            wake = t
-                    if any_idle or request not in candidates:
-                        outport = routing.decide(router, inport, packet,
-                                                 cycle)
-                        decide_called = True
-                    else:
-                        outport = request  # sticky while fully blocked
-            if outport is None:
-                continue
-            if cycle > port_busy[inport]:
-                bucket = requests.get(outport)
-                if bucket is None:
-                    requests[outport] = [vc]
-                else:
-                    bucket.append(vc)
-
-        # Grant loop: verbatim reference semantics (Router.allocate); the
-        # downstream-VC pick is the inlined base-class policy (first idle VC
-        # in slice order), valid under the routing whitelist.
-        granted_inports = set()
-        for outport in sorted(requests):
-            ejection = outport >= EJECT_PORT_BASE
-            if ejection:
-                if cycle <= router.eject_busy[outport]:
-                    continue
-            else:
-                link = router.out_links.get(outport)
-                if link is None:
-                    raise RoutingError(
-                        f"router {router.id} has no output port {outport}")
-                if not (link.up and cycle > link.busy_until):
-                    continue
-            viable = []
-            for vc in requests[outport]:
-                if vc.inport in granted_inports:
-                    continue
-                if ejection:
-                    viable.append((vc, None))
-                else:
-                    for dvc in dslice[(rid, outport, vc.packet.vnet)]:
-                        if dvc.packet is None and cycle >= dvc.free_at:
-                            viable.append((vc, dvc))
-                            break
-            if not viable:
-                continue
-            winner_vc, winner_dvc = router._arbitrate(outport, viable)
-            granted_inports.add(winner_vc.inport)
-            if ejection:
-                router._grant_ejection(winner_vc, outport, cycle)
-            else:
-                router._grant_network(winner_vc, winner_dvc, outport, cycle)
-
-        if decide_called or r_dirty[rid]:
-            # Randomness/selection was exercised, or our own grants (their
-            # release/reserve events re-dirty this router) moved packets:
-            # re-run next cycle.
-            self._r_wake[rid] = cycle + 1
-        else:
-            self._r_wake[rid] = wake
-
-    def _downstream_time(self, key: Tuple[int, int, int], cycle: int) -> int:
-        """Earliest cycle the keyed outport's downstream VCs could be idle.
-
-        Returns a value ≤ ``cycle`` only when a downstream VC is idle *now*
-        (verified against the live objects — table entries are lower bounds
-        and may be stale-low after a reservation).  When nothing is idle,
-        stores and returns the exact earliest possible idle time: empty VCs
-        become idle at ``free_at`` (constant while empty); occupied VCs
-        cannot free without a release event, which re-lowers this entry.
-        """
-        tbl = self._tbl
-        t = tbl.get(key, 0)
-        if t > cycle:
-            return t
-        best = _NEVER
-        for dvc in self._dslice[key]:
-            if dvc.packet is None:
-                free_at = dvc.free_at
-                if free_at <= cycle:
-                    return t
-                if free_at < best:
-                    best = free_at
-        tbl[key] = best
-        return best
-
     # ------------------------------------------------------------------
     # Quiescence fast-forward
     # ------------------------------------------------------------------
     def _quiescent(self, cycle: int) -> bool:
-        if self._occupied or self._active_nics:
+        core = self._core
+        if core.occupied or core.active_nics:
             return False
         traffic = self._traffic
         if traffic is not None:

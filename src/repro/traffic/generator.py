@@ -99,8 +99,11 @@ class SyntheticTraffic:
         network = self.network
         rng = self.rng
         probability = self.packet_probability
+        # Hot loop: one uniform draw per NIC per cycle.  Bind the underlying
+        # generator's method once; the draw sequence is unchanged.
+        random = rng._random.random
         for nic in network.nics:
-            if not rng.bernoulli(probability):
+            if random() >= probability:
                 continue
             dst = self.pattern.dest(nic.node, rng)
             if dst is None:

@@ -88,7 +88,11 @@ class TestNoPerturbation:
 
 
 class TestFastCoreCounters:
-    def test_skip_counters_recorded(self):
+    def test_skip_counters_recorded(self, monkeypatch):
+        # An env-attached oracle observer disables quiescence fast-forward
+        # (by design); this test is about the skip counters, so pin the
+        # observer-free regime.
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
         profiler = PhaseProfiler()
         _, point = tiny_spec("fast").run(profiler=profiler)
         counters = profiler.counters

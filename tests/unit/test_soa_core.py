@@ -1,0 +1,200 @@
+"""The struct-of-arrays allocation core: compilation, mirrors, fallback.
+
+:class:`repro.sim.fastcore.soa.SoaCore` compiles the network into flat
+integer-indexed tables and advances the hot phases over them, writing the
+authoritative objects directly.  These tests pin the three load-bearing
+properties of that design:
+
+* **compilation** — the static tables (global VC id space, arbitration
+  keys, downstream/injection rows) are a faithful index of the object
+  graph;
+* **mirror round-trip** — after arbitrary simulated prefixes (including
+  mid-flight, deadlocked and recovering states) every dynamic mirror still
+  agrees with the objects, ``resync()`` rebuilds from the objects alone,
+  and ``verify_against_objects()`` actually detects planted skew;
+* **fail-closed fallback** — any configuration outside the routing/plane
+  whitelist compiles to the pure reference schedule, bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig, SimulationConfig, SpinParams
+from repro.harness.runner import ExperimentSpec
+from repro.network.network import Network
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.sim import create_engine
+from repro.topology.mesh import MeshTopology
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def _fast_sim(side=4, vcs=2, rate=0.15, seed=3, tdd=16, routing=None):
+    """A fast-engine loop over a small mesh with uniform traffic."""
+    network = Network(MeshTopology(side, side),
+                      NetworkConfig(vcs_per_vnet=vcs),
+                      routing or MinimalAdaptiveRouting(seed),
+                      spin=SpinParams(tdd=tdd), seed=seed)
+    pattern = make_pattern("uniform", network.topology.num_nodes, seed)
+    traffic = SyntheticTraffic(network, pattern, rate, seed=seed)
+    simulator = create_engine("fast")
+    simulator.register(traffic)
+    simulator.register(network)
+    return simulator, network
+
+
+class TestCompilation:
+    def test_global_vid_space_covers_every_vc_in_scan_order(self):
+        simulator, network = _fast_sim()
+        simulator.run(1)
+        core = simulator._core
+        assert core is not None and simulator._fast_ok
+
+        expected = []
+        for router in network.routers:
+            for inport, vcs in router.all_inports():
+                expected.extend(vcs)
+        assert core.vc_obj == expected
+        assert len(core.vid_of) == len(expected)
+        for vid, vc in enumerate(core.vc_obj):
+            assert core.vid_of[id(vc)] == vid
+            assert core.vc_inport[vid] == vc.inport
+            # Arbitration key orders (inport, index) lexicographically.
+            assert core.vc_arbkey[vid] == vc.inport * 64 + vc.index
+
+    def test_router_slices_partition_the_vid_space(self):
+        simulator, network = _fast_sim()
+        simulator.run(1)
+        core = simulator._core
+        assert core.r_lo[0] == 0
+        assert core.r_lo[-1] == len(core.vc_obj)
+        for rid, router in enumerate(network.routers):
+            lo, hi = core.r_lo[rid], core.r_lo[rid + 1]
+            assert all(vc.router == rid for vc in core.vc_obj[lo:hi])
+
+    def test_downstream_rows_mirror_the_link_graph(self):
+        simulator, network = _fast_sim()
+        simulator.run(1)
+        core = simulator._core
+        for router in network.routers:
+            for outport, (neighbor, dst_port) in \
+                    router.out_neighbors.items():
+                entry = core.outinfo[(router.id, outport)]
+                assert entry[0] == outport
+                assert entry[1] is router.out_links[outport]
+                assert entry[2] == neighbor.id
+                for vnet, (dvcs, dvids) in enumerate(zip(entry[3],
+                                                         entry[4])):
+                    assert list(dvcs) \
+                        == list(neighbor.vnet_slice(dst_port, vnet))
+                    assert [core.vid_of[id(dvc)] for dvc in dvcs] \
+                        == list(dvids)
+
+    def test_injection_tables_mirror_the_nics(self):
+        simulator, network = _fast_sim()
+        simulator.run(1)
+        core = simulator._core
+        for nic in network.nics:
+            assert core.inj_port[nic.node] == nic.inject_port
+            assert core.inj_rid[nic.node] == nic.router_id
+            router = network.routers[nic.router_id]
+            for vnet, row in enumerate(core.inj_vcs[nic.node]):
+                assert list(row) \
+                    == list(router.vnet_slice(nic.inject_port, vnet))
+
+
+class TestMirrorRoundTrip:
+    def test_mirrors_agree_after_a_busy_prefix(self):
+        simulator, _ = _fast_sim(rate=0.30)
+        for checkpoint in (7, 50, 143, 400):
+            simulator.run(checkpoint - simulator.cycle)
+            assert simulator._core.verify_against_objects() == []
+
+    def test_resync_rebuilds_from_objects_alone(self):
+        simulator, _ = _fast_sim(rate=0.30)
+        simulator.run(200)
+        core = simulator._core
+        before = core.resyncs
+        core.resync()
+        assert core.resyncs == before + 1
+        assert core.verify_against_objects() == []
+
+    def test_verifier_detects_planted_occupancy_skew(self):
+        simulator, _ = _fast_sim(rate=0.30)
+        simulator.run(200)
+        core = simulator._core
+        occupied = next(vid for vid in range(len(core.vc_obj))
+                        if core.vc_pkt[vid])
+        core.vc_pkt[occupied] = 0
+        mismatches = core.verify_against_objects()
+        assert mismatches, "planted mirror skew went undetected"
+        core.resync()
+        assert core.verify_against_objects() == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        side=st.integers(min_value=3, max_value=5),
+        vcs=st.integers(min_value=1, max_value=2),
+        rate=st.sampled_from([0.05, 0.15, 0.30]),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        cycles=st.integers(min_value=1, max_value=300),
+    )
+    def test_random_designs_round_trip(self, side, vcs, rate, seed,
+                                       cycles):
+        """After any prefix on a random design the compiled tables and the
+        object graph describe the same machine — the invariant every
+        inlined decision depends on."""
+        simulator, _ = _fast_sim(side=side, vcs=vcs, rate=rate, seed=seed)
+        simulator.run(cycles)
+        core = simulator._core
+        assert core.verify_against_objects() == []
+        core.resync()
+        assert core.verify_against_objects() == []
+
+
+class TestFailClosedFallback:
+    def test_routing_subclass_falls_back(self):
+        class TweakedRouting(MinimalAdaptiveRouting):
+            """Overrides nothing — still outside the exact-type whitelist."""
+
+        simulator, network = _fast_sim(routing=TweakedRouting(3))
+        simulator.run(50)
+        assert not simulator._fast_ok
+        assert simulator._core is None
+        assert getattr(network, "engine_sink", None) is None
+
+    def test_instance_monkeypatch_falls_back(self):
+        routing = MinimalAdaptiveRouting(3)
+        routing.select = lambda *args, **kwargs: None
+        simulator, _ = _fast_sim(routing=routing)
+        simulator.run(50)
+        assert not simulator._fast_ok
+
+    def test_fallback_is_bit_identical_to_reference(self):
+        sim_config = SimulationConfig(
+            warmup_cycles=30, measure_cycles=150, drain_cycles=120,
+            deadlock_abort_cycles=300)
+        base = ExperimentSpec(design="mesh:escapevc-2vc",
+                              pattern="uniform", injection_rate=0.10,
+                              seed=5, mesh_side=4, tdd=16, sim=sim_config)
+        from dataclasses import replace
+
+        _, reference = replace(base, engine="reference").run()
+        _, fast = replace(base, engine="fast").run()
+        assert fast.to_dict() == reference.to_dict()
+
+
+@pytest.mark.parametrize("routing_factory", [
+    MinimalAdaptiveRouting,
+    pytest.param(None, id="DimensionOrderRouting"),
+])
+def test_whitelisted_routings_compile(routing_factory):
+    """The two stock whitelisted routings actually take the SoA path."""
+    if routing_factory is None:
+        from repro.routing.dor import DimensionOrderRouting
+        routing_factory = DimensionOrderRouting
+    simulator, _ = _fast_sim(routing=routing_factory(3))
+    simulator.run(50)
+    assert simulator._fast_ok
+    assert simulator._core is not None
